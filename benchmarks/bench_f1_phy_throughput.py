@@ -1,0 +1,26 @@
+"""Benchmark F1 — adaptive vs. fixed-rate physical-layer throughput."""
+
+import numpy as np
+
+from repro.experiments.phy_throughput import run_phy_throughput
+
+
+def test_f1_phy_throughput(benchmark, show):
+    result = benchmark(run_phy_throughput)
+    show(result.to_table(
+        columns=[
+            "mean_csi_db",
+            "adaptive_bps_per_symbol",
+            "fixed_bps_per_symbol",
+            "fixed_mode",
+            "gain",
+        ]
+    ))
+    adaptive = np.asarray(result.column("adaptive_bps_per_symbol"), dtype=float)
+    fixed = np.asarray(result.column("fixed_bps_per_symbol"), dtype=float)
+    gains = adaptive / np.maximum(fixed, 1e-12)
+    # Shape checks: adaptive never loses, gain peaks well above 1 in the
+    # mid-CSI region, and the adaptive curve is monotone in the mean CSI.
+    assert np.all(adaptive >= fixed - 1e-9)
+    assert gains.max() > 1.3
+    assert np.all(np.diff(adaptive) >= -1e-9)

@@ -1,0 +1,42 @@
+"""Benchmark F2 — average packet delay vs. load, forward link."""
+
+import math
+
+from repro.experiments.common import paper_scenario
+from repro.experiments.delay_vs_load import run_delay_vs_load
+
+LOADS = [8, 18, 26]
+
+
+def _run():
+    scenario = paper_scenario(duration_s=8.0, warmup_s=2.0)
+    return run_delay_vs_load(loads=LOADS, scenario=scenario, num_seeds=1)
+
+
+def test_f2_delay_vs_load_forward(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table(
+        columns=[
+            "scheduler",
+            "data_users_per_cell",
+            "forward_delay_s",
+            "mean_delay_s",
+            "p90_delay_s",
+            "carried_kbps",
+            "forward_utilisation",
+        ]
+    ))
+    heaviest = LOADS[-1]
+    by_scheduler = {
+        r["scheduler"]: r for r in result.filtered(data_users_per_cell=heaviest)
+    }
+    jaba = by_scheduler["JABA-SD(J1)"]["forward_delay_s"]
+    fcfs = by_scheduler["FCFS"]["forward_delay_s"]
+    # Shape check: beyond the knee the channel-adaptive multi-burst scheduler
+    # sustains a lower forward-link delay than the FCFS baseline.
+    assert not math.isnan(jaba) and not math.isnan(fcfs)
+    assert jaba <= fcfs * 1.05
+    # Delay grows with load for every scheduler (within noise).
+    for label in by_scheduler:
+        light = result.filtered(data_users_per_cell=LOADS[0], scheduler=label)[0]
+        assert light["mean_delay_s"] <= by_scheduler[label]["mean_delay_s"] * 1.5 + 0.2

@@ -1,0 +1,45 @@
+"""Benchmark F3 — average packet delay vs. load, reverse link.
+
+The reverse link is exercised by flipping the traffic mix towards uplink
+bursts (the paper admits the two links independently, so the reverse-link
+behaviour is driven by the reverse-link admissible region of eqs. (16)-(18)).
+"""
+
+import math
+from dataclasses import replace
+
+from repro.experiments.common import paper_scenario, paper_traffic
+from repro.experiments.delay_vs_load import run_delay_vs_load
+
+LOADS = [8, 16, 22]
+
+
+def _run():
+    scenario = paper_scenario(duration_s=8.0, warmup_s=2.0)
+    uplink_heavy = replace(scenario, traffic=replace(paper_traffic(), forward_fraction=0.3))
+    return run_delay_vs_load(loads=LOADS, scenario=uplink_heavy, num_seeds=1)
+
+
+def test_f3_delay_vs_load_reverse(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table(
+        columns=[
+            "scheduler",
+            "data_users_per_cell",
+            "reverse_delay_s",
+            "mean_delay_s",
+            "carried_kbps",
+            "reverse_rise_db",
+        ]
+    ))
+    heaviest = LOADS[-1]
+    by_scheduler = {
+        r["scheduler"]: r for r in result.filtered(data_users_per_cell=heaviest)
+    }
+    jaba = by_scheduler["JABA-SD(J1)"]["reverse_delay_s"]
+    fcfs = by_scheduler["FCFS"]["reverse_delay_s"]
+    assert not math.isnan(jaba) and not math.isnan(fcfs)
+    # Shape check: JABA-SD does not lose to FCFS on the reverse link either.
+    assert jaba <= fcfs * 1.05
+    # The reverse-link interference budget is respected on average for JABA-SD.
+    assert by_scheduler["JABA-SD(J1)"]["reverse_rise_db"] < 10.0

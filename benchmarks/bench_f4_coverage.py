@@ -1,0 +1,33 @@
+"""Benchmark F4 — coverage of the high-speed data service vs. load."""
+
+from repro.experiments.coverage import run_coverage
+
+LOADS = [8, 16]
+
+
+def _run():
+    return run_coverage(loads=LOADS, num_drops=10)
+
+
+def test_f4_coverage(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table(
+        columns=[
+            "scheduler",
+            "data_users_per_cell",
+            "coverage",
+            "mean_rate_kbps",
+            "aggregate_kbps",
+            "grant_fraction",
+        ]
+    ))
+    for label in ("JABA-SD(J1)", "FCFS", "EqualShare"):
+        light = result.filtered(scheduler=label, data_users_per_cell=LOADS[0])[0]
+        heavy = result.filtered(scheduler=label, data_users_per_cell=LOADS[-1])[0]
+        # Coverage is a probability and degrades (weakly) with load.
+        assert 0.0 <= heavy["coverage"] <= 1.0
+        assert heavy["coverage"] <= light["coverage"] + 0.05
+    # At the heavier load JABA-SD keeps at least as many users covered as FCFS.
+    jaba = result.filtered(scheduler="JABA-SD(J1)", data_users_per_cell=LOADS[-1])[0]
+    fcfs = result.filtered(scheduler="FCFS", data_users_per_cell=LOADS[-1])[0]
+    assert jaba["coverage"] >= fcfs["coverage"] - 0.05

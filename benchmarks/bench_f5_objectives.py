@@ -1,0 +1,27 @@
+"""Benchmark F5 — objective J1 vs. J2 trade-off."""
+
+import math
+
+from repro.experiments.common import paper_scenario
+from repro.experiments.objectives_tradeoff import run_objectives_tradeoff
+
+
+def _run():
+    scenario = paper_scenario(duration_s=8.0, warmup_s=2.0)
+    return run_objectives_tradeoff(
+        penalty_scales=[0.0, 1.0, 4.0], load=18, scenario=scenario
+    )
+
+
+def test_f5_objectives_tradeoff(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table())
+    assert result.records[0]["objective"] == "J1"
+    for record in result.records:
+        assert not math.isnan(record["mean_delay_s"])
+        assert record["carried_kbps"] > 0.0
+    # The largest penalty weight must not have a longer delay tail than J1 by
+    # more than the run-to-run noise.
+    j1 = result.records[0]
+    heaviest = result.records[-1]
+    assert heaviest["p90_delay_s"] <= j1["p90_delay_s"] * 1.25 + 0.2

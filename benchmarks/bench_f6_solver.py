@@ -1,0 +1,23 @@
+"""Benchmark F6 — scheduling-solver ablation (optimal vs. heuristics)."""
+
+from repro.experiments.solver_ablation import run_solver_ablation
+
+
+def _run():
+    return run_solver_ablation(
+        request_counts=[4, 8, 12], instances_per_count=3, max_nodes=20_000
+    )
+
+
+def test_f6_solver_ablation(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table())
+    for record in result.records:
+        # Heuristics can never beat the exact optimum, and the near-optimal
+        # solver stays very close to it on realistic instances.
+        assert record["greedy_quality"] <= 1.0 + 1e-9
+        assert record["near_optimal_quality"] <= 1.0 + 1e-9
+        assert record["near_optimal_quality"] >= 0.97
+        assert record["greedy_quality"] >= 0.80
+    # The exact solver's cost grows with the number of concurrent requests.
+    assert result.records[-1]["optimal_ms"] >= result.records[0]["optimal_ms"]

@@ -1,0 +1,23 @@
+"""Benchmark T1 — data user capacity at a mean-delay target."""
+
+from repro.experiments.capacity import run_capacity
+from repro.experiments.common import paper_scenario
+
+LOADS = [16, 24, 30]
+
+
+def _run():
+    scenario = paper_scenario(duration_s=8.0, warmup_s=2.0)
+    return run_capacity(delay_target_s=1.0, loads=LOADS, scenario=scenario)
+
+
+def test_t1_capacity(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table())
+    capacities = {r["scheduler"]: r["capacity_users_per_cell"] for r in result.records}
+    # Every scheduler sustains the lightest probed load; JABA-SD supports at
+    # least as many data users per cell as the FCFS baseline.
+    assert all(capacity >= LOADS[0] for capacity in capacities.values())
+    assert capacities["JABA-SD(J1)"] >= capacities["FCFS"]
+    assert capacities["JABA-SD(J1)"] <= LOADS[-1]
+    assert capacities["JABA-SD(J2)"] >= capacities["FCFS"]

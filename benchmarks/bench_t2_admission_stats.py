@@ -1,0 +1,27 @@
+"""Benchmark T2 — burst admission statistics at a fixed loaded operating point."""
+
+import math
+
+from repro.experiments.common import paper_scenario
+from repro.experiments.delay_vs_load import run_admission_statistics
+
+
+def _run():
+    scenario = paper_scenario(duration_s=8.0, warmup_s=2.0)
+    return run_admission_statistics(load=18, scenario=scenario)
+
+
+def test_t2_admission_statistics(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table())
+    by_scheduler = {r["scheduler"]: r for r in result.records}
+    assert set(by_scheduler) == {"JABA-SD(J1)", "JABA-SD(J2)", "FCFS", "EqualShare"}
+    for record in result.records:
+        assert 1.0 <= record["mean_granted_m"] <= 16.0
+        assert 0.0 <= record["forward_utilisation"] <= 1.2
+        assert not math.isnan(record["carried_kbps"])
+    # JABA-SD carries at least as much traffic as FCFS at the same load.
+    assert (
+        by_scheduler["JABA-SD(J1)"]["carried_kbps"]
+        >= by_scheduler["FCFS"]["carried_kbps"] * 0.9
+    )

@@ -1,0 +1,20 @@
+"""Benchmark T3 — reduced-active-set size ablation."""
+
+from repro.experiments.handoff_ablation import run_handoff_ablation
+
+
+def _run():
+    return run_handoff_ablation(reduced_set_sizes=[1, 2, 3], num_drops=8)
+
+
+def test_t3_reduced_active_set(benchmark, show):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    show(result.to_table())
+    forward = {r["reduced_active_set_size"]: r for r in result.records if r["link"] == "forward"}
+    assert set(forward) == {1, 2, 3}
+    for record in result.records:
+        assert 0.0 <= record["coverage"] <= 1.0
+        assert record["aggregate_kbps"] >= 0.0
+    # More SCH legs cost more forward power per burst, so the single-leg
+    # aggregate forward throughput is at least that of the three-leg case.
+    assert forward[1]["aggregate_kbps"] >= forward[3]["aggregate_kbps"] * 0.9

@@ -1,0 +1,30 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md §3 at a reduced —
+but still representative — scale, prints the paper-style table (run pytest
+with ``-s`` to see it) and checks the expected qualitative shape.  The
+full-scale figures are produced by ``python -m repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):  # pragma: no cover - harness glue
+    # The experiment functions dominate the run time; a single round is both
+    # representative and affordable.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table so it survives pytest's capture (visible with -s)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

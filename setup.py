@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that legacy editable installs (``pip install -e . --no-use-pep517``)
+keep working on systems without the ``wheel`` package — such as the offline
+reproduction environment this repository targets.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""Soft hand-off: active set and reduced active set maintenance.
+
+The FCH of a mobile may be in soft hand-off with several base stations (the
+*active set*), governed by the usual pilot add/drop hysteresis.  The paper's
+footnote 4 explains that the high-power SCH uses a *reduced active set*: "the
+set of the 2 base stations with the strongest pilot Ec/Io and is a subset of
+the active set of FCH".  The reduced-active-set size is configurable here so
+experiment T3 can ablate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.utils.units import linear_to_db
+
+__all__ = ["ActiveSetState", "SoftHandoffController"]
+
+
+@dataclass
+class ActiveSetState:
+    """Hand-off state of one mobile.
+
+    Attributes
+    ----------
+    active_set:
+        Cell indices currently in the FCH active set (strongest pilot first).
+    reduced_active_set:
+        Subset of the active set used for the SCH (strongest pilots).
+    serving_cell:
+        The strongest-pilot cell (host cell of burst requests).
+    """
+
+    active_set: List[int] = field(default_factory=list)
+    reduced_active_set: List[int] = field(default_factory=list)
+    serving_cell: int = 0
+
+    @property
+    def in_soft_handoff(self) -> bool:
+        """True when more than one cell is in the active set."""
+        return len(self.active_set) > 1
+
+
+class SoftHandoffController:
+    """Maintains active sets from forward pilot Ec/Io measurements.
+
+    Parameters
+    ----------
+    num_mobiles:
+        Number of mobiles tracked.
+    add_threshold_db / drop_threshold_db:
+        Pilot Ec/Io thresholds (T_ADD / T_DROP) in dB.  A pilot must exceed
+        the add threshold to join the active set and is removed once it falls
+        below the drop threshold (hysteresis: drop < add).
+    max_active_set_size:
+        Maximum number of cells in the FCH active set.
+    reduced_active_set_size:
+        Number of strongest cells retained for the SCH (2 in the paper).
+    """
+
+    def __init__(
+        self,
+        num_mobiles: int,
+        add_threshold_db: float = constants.HANDOFF_ADD_THRESHOLD_DB,
+        drop_threshold_db: float = constants.HANDOFF_DROP_THRESHOLD_DB,
+        max_active_set_size: int = constants.ACTIVE_SET_MAX_SIZE,
+        reduced_active_set_size: int = constants.REDUCED_ACTIVE_SET_SIZE,
+    ) -> None:
+        if num_mobiles < 0:
+            raise ValueError("num_mobiles must be non-negative")
+        if drop_threshold_db > add_threshold_db:
+            raise ValueError("drop threshold must not exceed the add threshold")
+        if max_active_set_size < 1:
+            raise ValueError("max_active_set_size must be at least 1")
+        if not 1 <= reduced_active_set_size <= max_active_set_size:
+            raise ValueError(
+                "reduced_active_set_size must lie in [1, max_active_set_size]"
+            )
+        self.num_mobiles = int(num_mobiles)
+        self.add_threshold_db = float(add_threshold_db)
+        self.drop_threshold_db = float(drop_threshold_db)
+        self.max_active_set_size = int(max_active_set_size)
+        self.reduced_active_set_size = int(reduced_active_set_size)
+        self._states: List[ActiveSetState] = [
+            ActiveSetState() for _ in range(self.num_mobiles)
+        ]
+        #: Count of hand-off events (active-set changes), for reporting.
+        self.handoff_events = 0
+
+    def state(self, mobile_index: int) -> ActiveSetState:
+        """Hand-off state of mobile ``mobile_index``."""
+        return self._states[mobile_index]
+
+    @property
+    def states(self) -> Sequence[ActiveSetState]:
+        """All hand-off states (index = mobile index)."""
+        return tuple(self._states)
+
+    def update(self, pilot_ec_io: np.ndarray) -> None:
+        """Update every mobile's active set from pilot measurements.
+
+        Parameters
+        ----------
+        pilot_ec_io:
+            Forward pilot Ec/Io (linear), shape ``(num_mobiles, num_cells)``.
+        """
+        pilots = np.asarray(pilot_ec_io, dtype=float)
+        if pilots.shape[0] != self.num_mobiles:
+            raise ValueError("pilot matrix has the wrong number of mobiles")
+        add_lin = 10.0 ** (self.add_threshold_db / 10.0)
+        drop_lin = 10.0 ** (self.drop_threshold_db / 10.0)
+
+        for j in range(self.num_mobiles):
+            row = pilots[j]
+            state = self._states[j]
+            previous = list(state.active_set)
+            # Keep current members above the drop threshold.
+            retained = [k for k in state.active_set if row[k] >= drop_lin]
+            # Candidates above the add threshold, strongest first.
+            order = np.argsort(row)[::-1]
+            for k in order:
+                k = int(k)
+                if row[k] < add_lin:
+                    break
+                if k not in retained:
+                    retained.append(k)
+            if not retained:
+                # Always keep at least the strongest cell so the mobile stays
+                # connected even in a coverage hole (it will be in outage, but
+                # the bookkeeping remains well-defined).
+                retained = [int(order[0])]
+            # Sort by pilot strength and truncate to the maximum size.
+            retained.sort(key=lambda cell: -row[cell])
+            retained = retained[: self.max_active_set_size]
+            state.active_set = retained
+            state.reduced_active_set = retained[: self.reduced_active_set_size]
+            state.serving_cell = retained[0]
+            if retained != previous:
+                self.handoff_events += 1
+
+    def active_set_matrix(self, num_cells: int) -> np.ndarray:
+        """Boolean matrix ``(num_mobiles, num_cells)`` of FCH active-set membership."""
+        out = np.zeros((self.num_mobiles, num_cells), dtype=bool)
+        for j, state in enumerate(self._states):
+            out[j, state.active_set] = True
+        return out
+
+    def reduced_active_set_matrix(self, num_cells: int) -> np.ndarray:
+        """Boolean matrix of *reduced* active-set membership (SCH legs)."""
+        out = np.zeros((self.num_mobiles, num_cells), dtype=bool)
+        for j, state in enumerate(self._states):
+            out[j, state.reduced_active_set] = True
+        return out
+
+    def serving_cells(self) -> np.ndarray:
+        """Serving (strongest-pilot) cell of each mobile."""
+        return np.asarray([s.serving_cell for s in self._states], dtype=int)
+
+    def soft_handoff_fraction(self) -> float:
+        """Fraction of mobiles currently in soft hand-off."""
+        if not self._states:
+            return 0.0
+        return float(np.mean([s.in_soft_handoff for s in self._states]))

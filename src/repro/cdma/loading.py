@@ -1,0 +1,135 @@
+"""Forward-link power-budget and reverse-link interference bookkeeping.
+
+These two snapshot dataclasses bundle exactly the quantities the measurement
+sub-layer of the burst admission algorithm consumes (Figure 2 of the paper):
+
+* forward link: the current cell loading ``P_k``, the per-mobile FCH forward
+  power ``P_{j,k}``, and the traffic-power ceiling ``P_max`` of every cell;
+* reverse link: the current received interference ``L_k``, the reverse pilot
+  strengths ``t^{RL}_{j,k}`` from soft-hand-off cells, the forward pilot
+  strengths ``t^{FL}_{j,k}`` reported in the SCRM message, the FCH-to-pilot
+  power ratio ``xi_j`` and the interference ceiling ``L_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ForwardLinkLoad", "ReverseLinkLoad"]
+
+
+@dataclass
+class ForwardLinkLoad:
+    """Forward-link loading snapshot (inputs of eqs. (6)–(8)).
+
+    Attributes
+    ----------
+    max_traffic_power_w:
+        ``P_max`` per cell: traffic-power ceiling, shape ``(K,)``.
+    current_power_w:
+        ``P_k`` per cell: currently committed transmit power (common channels
+        + FCH allocations + already-granted SCH bursts), shape ``(K,)``.
+    fch_power_w:
+        ``P_{j,k}``: FCH forward power allocated to mobile ``j`` by cell
+        ``k`` (0 when ``k`` is not serving the mobile), shape ``(J, K)``.
+    """
+
+    max_traffic_power_w: np.ndarray
+    current_power_w: np.ndarray
+    fch_power_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.max_traffic_power_w = np.asarray(self.max_traffic_power_w, dtype=float)
+        self.current_power_w = np.asarray(self.current_power_w, dtype=float)
+        self.fch_power_w = np.asarray(self.fch_power_w, dtype=float)
+        k = self.max_traffic_power_w.shape[0]
+        if self.current_power_w.shape != (k,):
+            raise ValueError("current_power_w must have one entry per cell")
+        if self.fch_power_w.ndim != 2 or self.fch_power_w.shape[1] != k:
+            raise ValueError("fch_power_w must have shape (num_mobiles, num_cells)")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells ``K``."""
+        return self.max_traffic_power_w.shape[0]
+
+    @property
+    def num_mobiles(self) -> int:
+        """Number of mobiles ``J``."""
+        return self.fch_power_w.shape[0]
+
+    def headroom_w(self) -> np.ndarray:
+        """Available forward-link power per cell, ``max(P_max - P_k, 0)``."""
+        return np.maximum(self.max_traffic_power_w - self.current_power_w, 0.0)
+
+    def utilisation(self) -> np.ndarray:
+        """Fraction of the traffic-power budget in use per cell."""
+        return self.current_power_w / self.max_traffic_power_w
+
+
+@dataclass
+class ReverseLinkLoad:
+    """Reverse-link loading snapshot (inputs of eqs. (9)–(18)).
+
+    Attributes
+    ----------
+    max_interference_w:
+        ``L_max`` per cell: received-interference ceiling, shape ``(K,)``.
+    current_interference_w:
+        ``L_k`` per cell: current total received power (noise + all users +
+        granted reverse bursts), shape ``(K,)``.
+    reverse_pilot_strength:
+        ``t^{RL}_{j,k}``: reverse pilot Ec/Io of mobile ``j`` at cell ``k``,
+        shape ``(J, K)``.
+    forward_pilot_strength:
+        ``t^{FL}_{j,k}``: forward pilot Ec/Io of cell ``k`` measured and
+        reported by mobile ``j`` (SCRM content), shape ``(J, K)``.
+    fch_pilot_power_ratio:
+        ``xi_j``: FCH-to-pilot transmit power ratio per mobile, shape ``(J,)``.
+    """
+
+    max_interference_w: np.ndarray
+    current_interference_w: np.ndarray
+    reverse_pilot_strength: np.ndarray
+    forward_pilot_strength: np.ndarray
+    fch_pilot_power_ratio: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.max_interference_w = np.asarray(self.max_interference_w, dtype=float)
+        self.current_interference_w = np.asarray(
+            self.current_interference_w, dtype=float
+        )
+        self.reverse_pilot_strength = np.asarray(self.reverse_pilot_strength, dtype=float)
+        self.forward_pilot_strength = np.asarray(self.forward_pilot_strength, dtype=float)
+        self.fch_pilot_power_ratio = np.asarray(self.fch_pilot_power_ratio, dtype=float)
+        k = self.max_interference_w.shape[0]
+        j = self.reverse_pilot_strength.shape[0]
+        if self.current_interference_w.shape != (k,):
+            raise ValueError("current_interference_w must have one entry per cell")
+        if self.reverse_pilot_strength.shape != (j, k):
+            raise ValueError("reverse_pilot_strength must have shape (J, K)")
+        if self.forward_pilot_strength.shape != (j, k):
+            raise ValueError("forward_pilot_strength must have shape (J, K)")
+        if self.fch_pilot_power_ratio.shape != (j,):
+            raise ValueError("fch_pilot_power_ratio must have one entry per mobile")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells ``K``."""
+        return self.max_interference_w.shape[0]
+
+    @property
+    def num_mobiles(self) -> int:
+        """Number of mobiles ``J``."""
+        return self.reverse_pilot_strength.shape[0]
+
+    def headroom_w(self) -> np.ndarray:
+        """Available reverse-link interference margin per cell."""
+        return np.maximum(self.max_interference_w - self.current_interference_w, 0.0)
+
+    def rise_over_thermal_db(self, noise_power_w: np.ndarray) -> np.ndarray:
+        """Current rise over thermal (dB) per cell given the noise floor."""
+        noise = np.asarray(noise_power_w, dtype=float)
+        return 10.0 * np.log10(self.current_interference_w / noise)

@@ -1,0 +1,408 @@
+"""The multi-cell wideband CDMA network.
+
+:class:`CdmaNetwork` ties the substrate together: cell layout, link gains,
+pilot measurements, soft hand-off, forward/reverse FCH power control and the
+bookkeeping of granted SCH burst powers.  Its :meth:`CdmaNetwork.step` method
+advances the radio network by one scheduling frame and produces a
+:class:`NetworkSnapshot` containing every measurement the burst admission
+layer needs (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cdma.entities import BaseStation, MobileStation, UserClass
+from repro.cdma.handoff import ActiveSetState, SoftHandoffController
+from repro.cdma.linkgain import LinkGainMap
+from repro.cdma.loading import ForwardLinkLoad, ReverseLinkLoad
+from repro.cdma.pilot import forward_pilot_ec_io, reverse_pilot_ec_io
+from repro.cdma.powercontrol import (
+    ForwardLinkPowerControl,
+    PowerControlResult,
+    ReverseLinkPowerControl,
+)
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.config import SystemConfig
+from repro.geometry.hexgrid import HexagonalCellLayout
+
+__all__ = ["CdmaNetwork", "NetworkSnapshot"]
+
+
+@dataclass
+class NetworkSnapshot:
+    """Per-frame measurement snapshot consumed by the burst admission layer.
+
+    Attributes
+    ----------
+    time_s:
+        Simulation time of the snapshot.
+    gains:
+        Local-mean link gains, shape ``(J, K)``.
+    forward_load / reverse_load:
+        Loading snapshots (see :mod:`repro.cdma.loading`).
+    handoff_states:
+        Per-mobile soft hand-off state.
+    serving_cells:
+        Strongest-pilot cell per mobile.
+    sch_mean_csi_forward / sch_mean_csi_reverse:
+        Local-mean SCH symbol Es/Io per mobile on each link; drives the VTAOC
+        average throughput ``delta_rho``.
+    forward_pc / reverse_pc:
+        Raw power-control results (achieved SIR, power-limited flags).
+    """
+
+    time_s: float
+    gains: np.ndarray
+    forward_load: ForwardLinkLoad
+    reverse_load: ReverseLinkLoad
+    handoff_states: Sequence[ActiveSetState]
+    serving_cells: np.ndarray
+    sch_mean_csi_forward: np.ndarray
+    sch_mean_csi_reverse: np.ndarray
+    forward_pc: PowerControlResult
+    reverse_pc: PowerControlResult
+
+    @property
+    def num_mobiles(self) -> int:
+        """Number of mobiles in the snapshot."""
+        return self.gains.shape[0]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells in the snapshot."""
+        return self.gains.shape[1]
+
+    def fch_outage_fraction(self) -> float:
+        """Fraction of active FCH links that failed to reach their SIR target."""
+        fwd = self.forward_pc.power_limited
+        rev = self.reverse_pc.power_limited
+        active = ~np.isnan(self.forward_pc.achieved_sir)
+        if not np.any(active):
+            return 0.0
+        return float(np.mean((fwd | rev)[active]))
+
+
+class CdmaNetwork:
+    """Multi-cell CDMA radio network substrate.
+
+    Parameters
+    ----------
+    config:
+        System configuration (radio section drives this class).
+    mobiles:
+        The mobile stations (voice and data users).
+    rng:
+        Random generator for the propagation processes.
+    layout:
+        Optional pre-built cell layout (built from ``config`` when omitted).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        mobiles: Sequence[MobileStation],
+        rng: np.random.Generator,
+        layout: Optional[HexagonalCellLayout] = None,
+    ) -> None:
+        self.config = config
+        radio = config.radio
+        self.layout = (
+            layout
+            if layout is not None
+            else HexagonalCellLayout(
+                num_rings=radio.num_rings,
+                cell_radius_m=radio.cell_radius_m,
+                wraparound=radio.wraparound,
+            )
+        )
+        self.mobiles: List[MobileStation] = list(mobiles)
+        self.base_stations: List[BaseStation] = [
+            BaseStation(
+                index=k,
+                position=self.layout.position_of(k),
+                max_tx_power_w=radio.bs_max_tx_power_w,
+                common_channel_power_w=radio.bs_max_tx_power_w
+                * radio.bs_common_channel_fraction,
+                pilot_power_w=radio.bs_max_tx_power_w * radio.bs_pilot_fraction,
+                noise_power_w=radio.bs_noise_power_w,
+                max_rise_over_thermal_db=radio.max_rise_over_thermal_db,
+            )
+            for k in range(self.layout.num_cells)
+        ]
+        self.link_gains = LinkGainMap(
+            layout=self.layout,
+            num_mobiles=len(self.mobiles),
+            rng=rng,
+            path_loss=LogDistancePathLoss(
+                exponent=radio.path_loss_exponent,
+                reference_loss_db=radio.path_loss_reference_db,
+                reference_distance_m=radio.path_loss_reference_distance_m,
+            ),
+            shadowing_std_db=radio.shadowing_std_db,
+            decorrelation_distance_m=radio.shadowing_decorrelation_m,
+            site_correlation=radio.shadowing_site_correlation,
+            doppler_hz=radio.doppler_hz,
+        )
+        self.handoff = SoftHandoffController(
+            num_mobiles=len(self.mobiles),
+            add_threshold_db=radio.handoff_add_threshold_db,
+            drop_threshold_db=radio.handoff_drop_threshold_db,
+            max_active_set_size=radio.active_set_max_size,
+            reduced_active_set_size=radio.reduced_active_set_size,
+        )
+        self.reverse_pc = ReverseLinkPowerControl(
+            processing_gain=radio.fch_processing_gain,
+            ebio_target=radio.fch_ebio_target,
+            pilot_overhead=radio.reverse_pilot_overhead,
+            max_tx_power_w=radio.ms_max_tx_power_w,
+            iterations=radio.power_control_iterations,
+        )
+        self.forward_pc = ForwardLinkPowerControl(
+            processing_gain=radio.fch_processing_gain,
+            ebio_target=radio.fch_ebio_target,
+            orthogonality_factor=radio.orthogonality_factor,
+            mobile_noise_power_w=radio.mobile_noise_power_w,
+            iterations=radio.power_control_iterations,
+        )
+        #: Committed SCH burst transmit power per cell (forward link), watts.
+        self.forward_burst_power_w = np.zeros(self.num_cells)
+        #: Committed SCH burst received power per cell (reverse link), watts.
+        self.reverse_burst_power_w = np.zeros(self.num_cells)
+
+        self._time_s = 0.0
+        # Initialise positions/gains and hand-off from the starting locations.
+        self.link_gains.set_positions(self._positions())
+        self._update_handoff()
+
+    # -- basic accessors ---------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return self.layout.num_cells
+
+    @property
+    def num_mobiles(self) -> int:
+        """Number of mobiles."""
+        return len(self.mobiles)
+
+    @property
+    def time_s(self) -> float:
+        """Current network time (advanced by :meth:`step`)."""
+        return self._time_s
+
+    def data_mobile_indices(self) -> np.ndarray:
+        """Indices of the high-speed data users."""
+        return np.asarray(
+            [m.index for m in self.mobiles if m.user_class is UserClass.DATA], dtype=int
+        )
+
+    def voice_mobile_indices(self) -> np.ndarray:
+        """Indices of the voice users."""
+        return np.asarray(
+            [m.index for m in self.mobiles if m.user_class is UserClass.VOICE], dtype=int
+        )
+
+    def _positions(self) -> np.ndarray:
+        if not self.mobiles:
+            return np.zeros((0, 2))
+        return np.vstack([m.position for m in self.mobiles])
+
+    def _fch_active_mask(self) -> np.ndarray:
+        return np.asarray([m.fch_active for m in self.mobiles], dtype=bool)
+
+    def _fch_rate_factors(self) -> np.ndarray:
+        return np.asarray([m.fch_rate_factor for m in self.mobiles], dtype=float)
+
+    def _update_handoff(self) -> None:
+        gains = self.link_gains.local_mean_gain()
+        if gains.shape[0] == 0:
+            return
+        total_power = np.asarray(
+            [
+                bs.common_channel_power_w + self.forward_burst_power_w[bs.index]
+                for bs in self.base_stations
+            ]
+        )
+        pilot_power = np.asarray([bs.pilot_power_w for bs in self.base_stations])
+        pilots = forward_pilot_ec_io(
+            gains, total_power, pilot_power, self.config.radio.mobile_noise_power_w
+        )
+        self.handoff.update(pilots)
+
+    # -- main frame update ----------------------------------------------------------
+    def advance(self, dt_s: float) -> None:
+        """Advance mobility, propagation and hand-off by ``dt_s`` seconds.
+
+        Power control is *not* run here; call :meth:`snapshot` to obtain the
+        measurements at the new state.  The update order is mobility →
+        propagation → hand-off.
+        """
+        if dt_s < 0.0:
+            raise ValueError("dt_s must be non-negative")
+        moved = np.zeros(self.num_mobiles)
+        for i, mobile in enumerate(self.mobiles):
+            moved[i] = mobile.mobility.advance(dt_s)
+        positions = self._positions()
+        if self.num_mobiles > 0:
+            self.link_gains.advance(positions, moved, dt_s)
+        self._time_s += dt_s
+        self._update_handoff()
+
+    def step(self, dt_s: float) -> NetworkSnapshot:
+        """Advance the network by ``dt_s`` seconds and return the new snapshot.
+
+        Convenience wrapper: :meth:`advance` followed by :meth:`snapshot`
+        (mobility → propagation → hand-off → power control → measurements).
+        """
+        self.advance(dt_s)
+        return self.snapshot()
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Run power control at the current state and assemble the measurements."""
+        radio = self.config.radio
+        phy = self.config.phy
+        gains = self.link_gains.local_mean_gain()
+        num_mobiles, num_cells = gains.shape if gains.size else (0, self.num_cells)
+        active = self._fch_active_mask()
+        rate_factors = self._fch_rate_factors()
+        active_set = self.handoff.active_set_matrix(self.num_cells)
+        serving = (
+            self.handoff.serving_cells()
+            if num_mobiles > 0
+            else np.zeros(0, dtype=int)
+        )
+
+        bs_common = np.asarray([bs.common_channel_power_w for bs in self.base_stations])
+        bs_budget = np.asarray([bs.max_traffic_power_w for bs in self.base_stations])
+        bs_noise = np.asarray([bs.noise_power_w for bs in self.base_stations])
+        bs_pilot = np.asarray([bs.pilot_power_w for bs in self.base_stations])
+        max_link_power = radio.fch_max_power_fraction * bs_budget.min()
+
+        # -- reverse link FCH power control -------------------------------------
+        reverse_result = self.reverse_pc.solve(
+            gains=gains,
+            serving_cells=serving,
+            active=active,
+            noise_power_w=bs_noise,
+            extra_received_power_w=self.reverse_burst_power_w,
+            rate_factor=rate_factors,
+        )
+        # -- forward link FCH power control -------------------------------------
+        forward_result = self.forward_pc.solve(
+            gains=gains,
+            active_set=active_set,
+            active=active,
+            base_power_w=bs_common,
+            max_traffic_power_w=bs_budget,
+            extra_traffic_power_w=self.forward_burst_power_w,
+            max_link_power_w=max_link_power,
+            rate_factor=rate_factors,
+        )
+
+        # -- pilot measurements ----------------------------------------------------
+        forward_pilots = forward_pilot_ec_io(
+            gains,
+            forward_result.total_power_w,
+            bs_pilot,
+            radio.mobile_noise_power_w,
+        )
+        xi = np.asarray([m.fch_pilot_power_ratio for m in self.mobiles], dtype=float)
+        # The reverse pilot tracks the channel the way a *full-rate* FCH
+        # would, so the burst measurements (eq. (10)) reconstruct the
+        # full-rate FCH power from it regardless of the rate of the channel
+        # currently held (DCCH vs FCH).
+        fullrate_tx = np.where(
+            active, reverse_result.tx_power_w / np.maximum(rate_factors, 1e-12), 0.0
+        )
+        mobile_pilot_tx = fullrate_tx / np.maximum(xi, 1e-12)
+        reverse_pilots = reverse_pilot_ec_io(
+            gains, mobile_pilot_tx, reverse_result.total_power_w
+        )
+
+        # -- loading snapshots ---------------------------------------------------------
+        forward_traffic = (
+            forward_result.total_power_w - bs_common
+        )  # FCH allocations + committed bursts
+        # Full-rate-equivalent FCH forward power per link (eq. (6) assumes the
+        # measured P_{j,k} refers to a full-rate FCH).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fullrate_fch = forward_result.tx_power_w / np.maximum(
+                rate_factors[:, np.newaxis], 1e-12
+            )
+        forward_load = ForwardLinkLoad(
+            max_traffic_power_w=bs_budget,
+            current_power_w=forward_traffic,
+            fch_power_w=fullrate_fch,
+        )
+        l_max = np.asarray(
+            [bs.max_reverse_interference_w for bs in self.base_stations]
+        )
+        reverse_load = ReverseLinkLoad(
+            max_interference_w=l_max,
+            current_interference_w=reverse_result.total_power_w,
+            reverse_pilot_strength=reverse_pilots,
+            forward_pilot_strength=forward_pilots,
+            fch_pilot_power_ratio=xi,
+        )
+
+        # -- SCH local-mean CSI per mobile -----------------------------------------------
+        # A user whose FCH is exactly on target experiences the reference SCH
+        # CSI; power-limited (cell-edge) users are scaled down proportionally.
+        target = radio.fch_ebio_target
+        with np.errstate(invalid="ignore"):
+            fwd_quality = np.clip(
+                np.nan_to_num(forward_result.achieved_sir / target, nan=1.0), 0.0, 1.0
+            )
+            rev_quality = np.clip(
+                np.nan_to_num(reverse_result.achieved_sir / target, nan=1.0), 0.0, 1.0
+            )
+        sch_csi_forward = phy.sch_reference_csi * fwd_quality
+        sch_csi_reverse = phy.sch_reference_csi * rev_quality
+
+        return NetworkSnapshot(
+            time_s=self._time_s,
+            gains=gains,
+            forward_load=forward_load,
+            reverse_load=reverse_load,
+            handoff_states=self.handoff.states,
+            serving_cells=serving,
+            sch_mean_csi_forward=sch_csi_forward,
+            sch_mean_csi_reverse=sch_csi_reverse,
+            forward_pc=forward_result,
+            reverse_pc=reverse_result,
+        )
+
+    # -- burst power bookkeeping --------------------------------------------------------
+    def commit_forward_burst_power(self, cell_index: int, power_w: float) -> None:
+        """Reserve forward-link SCH power at ``cell_index`` for a granted burst."""
+        if power_w < 0.0:
+            raise ValueError("power_w must be non-negative")
+        self.forward_burst_power_w[cell_index] += power_w
+
+    def release_forward_burst_power(self, cell_index: int, power_w: float) -> None:
+        """Release previously committed forward-link SCH power."""
+        self.forward_burst_power_w[cell_index] = max(
+            0.0, self.forward_burst_power_w[cell_index] - power_w
+        )
+
+    def commit_reverse_burst_power(self, cell_index: int, power_w: float) -> None:
+        """Account the extra reverse-link received power of a granted burst."""
+        if power_w < 0.0:
+            raise ValueError("power_w must be non-negative")
+        self.reverse_burst_power_w[cell_index] += power_w
+
+    def release_reverse_burst_power(self, cell_index: int, power_w: float) -> None:
+        """Release previously accounted reverse-link burst power."""
+        self.reverse_burst_power_w[cell_index] = max(
+            0.0, self.reverse_burst_power_w[cell_index] - power_w
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CdmaNetwork(cells={self.num_cells}, mobiles={self.num_mobiles}, "
+            f"time={self._time_s:.3f} s)"
+        )

@@ -1,0 +1,159 @@
+"""Composite channel ``X(t) = Xl(t) * Xs(t)`` — eq. (1) of the paper.
+
+The composite channel combines the deterministic path loss, the slowly
+varying shadowing component and the fast Rayleigh fading component into a
+single time-varying link power gain.  The burst admission layer operates on
+the *local-mean* (shadowing + path loss) part, while the adaptive physical
+layer (VTAOC) tracks the fast component symbol-by-symbol — exactly the split
+described at the end of Section 2.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.fastfading import NoFading, RayleighBlockFading
+from repro.channel.pathloss import LogDistancePathLoss, PathLossModel
+from repro.channel.shadowing import ConstantShadowing, GudmundsonShadowing
+
+__all__ = ["ChannelSample", "CompositeChannel"]
+
+
+@dataclass(frozen=True)
+class ChannelSample:
+    """One observation of the composite channel.
+
+    Attributes
+    ----------
+    path_gain:
+        Deterministic path-loss gain (linear, <= 1).
+    shadowing_gain:
+        Long-term shadowing gain ``Xl`` (linear).
+    fading_gain:
+        Fast-fading power gain ``Xs`` (linear, unit mean).
+    """
+
+    path_gain: float
+    shadowing_gain: float
+    fading_gain: float
+
+    @property
+    def local_mean_gain(self) -> float:
+        """Gain averaged over fast fading: ``path_gain * shadowing_gain``.
+
+        This is the quantity the measurement sub-layer of the burst admission
+        algorithm sees (the "local mean CSI" of the paper).
+        """
+        return self.path_gain * self.shadowing_gain
+
+    @property
+    def instantaneous_gain(self) -> float:
+        """Full composite gain including fast fading (eq. (1))."""
+        return self.path_gain * self.shadowing_gain * self.fading_gain
+
+
+class CompositeChannel:
+    """Time-evolving composite channel between one mobile and one base station.
+
+    Parameters
+    ----------
+    path_loss:
+        Path-loss model; defaults to :class:`LogDistancePathLoss`.
+    shadowing:
+        Shadowing process; defaults to an uncorrelated constant 0 dB (tests) —
+        the network substrate always supplies a :class:`GudmundsonShadowing`.
+    fading:
+        Fast-fading process; defaults to :class:`NoFading`.
+
+    The channel is advanced by telling it how far the mobile moved
+    (:meth:`advance`); the distance drives both the shadowing innovation and
+    (via elapsed time) the fast-fading decorrelation.
+    """
+
+    def __init__(
+        self,
+        path_loss: Optional[PathLossModel] = None,
+        shadowing: Optional[object] = None,
+        fading: Optional[object] = None,
+    ) -> None:
+        self.path_loss = path_loss if path_loss is not None else LogDistancePathLoss()
+        self.shadowing = shadowing if shadowing is not None else ConstantShadowing()
+        self.fading = fading if fading is not None else NoFading()
+        self._distance_m = 1.0
+
+    @property
+    def distance_m(self) -> float:
+        """Current transmitter–receiver distance in metres."""
+        return self._distance_m
+
+    def set_distance(self, distance_m: float) -> None:
+        """Set the current distance without advancing the random processes."""
+        if distance_m < 0.0:
+            raise ValueError("distance must be non-negative")
+        self._distance_m = float(distance_m)
+
+    def advance(self, moved_m: float, dt_s: float, new_distance_m: Optional[float] = None) -> ChannelSample:
+        """Advance the channel state.
+
+        Parameters
+        ----------
+        moved_m:
+            Distance travelled by the mobile since the last update (drives the
+            shadowing decorrelation).
+        dt_s:
+            Elapsed time (drives the fast-fading decorrelation).
+        new_distance_m:
+            New transmitter–receiver distance; unchanged when omitted.
+
+        Returns
+        -------
+        ChannelSample
+            The channel state *after* the update.
+        """
+        if new_distance_m is not None:
+            self.set_distance(new_distance_m)
+        self.shadowing.advance(moved_m)
+        self.fading.advance(dt_s)
+        return self.sample()
+
+    def sample(self) -> ChannelSample:
+        """Return the current channel state without advancing it."""
+        return ChannelSample(
+            path_gain=float(self.path_loss.gain(self._distance_m)),
+            shadowing_gain=float(self.shadowing.current_linear())
+            if hasattr(self.shadowing, "current_linear")
+            else 1.0,
+            fading_gain=float(self.fading.current_power())
+            if hasattr(self.fading, "current_power")
+            else 1.0,
+        )
+
+    @classmethod
+    def standard(
+        cls,
+        rng: np.random.Generator,
+        doppler_hz: float = 10.0,
+        shadowing_std_db: float = 8.0,
+        decorrelation_distance_m: float = 50.0,
+        path_loss: Optional[PathLossModel] = None,
+    ) -> "CompositeChannel":
+        """Factory for the standard simulation channel.
+
+        Uses correlated Gudmundson shadowing and correlated block Rayleigh
+        fading, each with its own independent random stream derived from
+        ``rng``.
+        """
+        shadow_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        fade_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        return cls(
+            path_loss=path_loss if path_loss is not None else LogDistancePathLoss(),
+            shadowing=GudmundsonShadowing(
+                std_db=shadowing_std_db,
+                decorrelation_distance_m=decorrelation_distance_m,
+                rng=shadow_rng,
+            ),
+            fading=RayleighBlockFading(doppler_hz=doppler_hz, rng=fade_rng),
+        )

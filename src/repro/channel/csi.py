@@ -1,0 +1,119 @@
+"""Channel-state-information (CSI) estimation and feedback.
+
+Section 2.2 of the paper: "Channel state information (CSI), which is
+estimated at the receiver, is feedback to the transmitter via a low-capacity
+feedback channel.  Based on the CSI, the level of redundancy and the
+modulation applied to the information packets are adjusted accordingly."
+
+Two effects of the low-capacity feedback channel are modelled:
+
+* **feedback delay** — the transmitter acts on a CSI value that is
+  ``delay_s`` old, which matters when the fast fading decorrelates within the
+  delay;
+* **quantisation** — only a few bits are available, so the CSI is quantised
+  to one of ``2**bits`` representative levels (in dB).
+
+Estimation noise can be added on top (Gaussian in dB), modelling imperfect
+pilot-based estimation.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["CsiEstimator", "CsiFeedbackChannel"]
+
+
+class CsiEstimator:
+    """Pilot-based CSI estimator with optional Gaussian estimation error.
+
+    Parameters
+    ----------
+    error_std_db:
+        Standard deviation of the estimation error in dB (0 = perfect).
+    rng:
+        Random generator used for the estimation error.
+    """
+
+    def __init__(
+        self,
+        error_std_db: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.error_std_db = check_non_negative("error_std_db", error_std_db)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def estimate(self, true_csi: float) -> float:
+        """Return the estimated CSI given the true (linear) CSI."""
+        if true_csi < 0.0:
+            raise ValueError("true_csi must be non-negative")
+        if self.error_std_db == 0.0 or true_csi == 0.0:
+            return float(true_csi)
+        err_db = self._rng.normal(0.0, self.error_std_db)
+        return float(true_csi * 10.0 ** (err_db / 10.0))
+
+
+class CsiFeedbackChannel:
+    """Low-capacity delayed, quantised CSI feedback channel.
+
+    Parameters
+    ----------
+    delay_s:
+        Feedback delay in seconds; the transmitter sees CSI that old.
+    quantisation_bits:
+        Number of feedback bits per report; ``None`` disables quantisation.
+    csi_range_db:
+        (min, max) dB range represented by the quantiser.
+    """
+
+    def __init__(
+        self,
+        delay_s: float = 0.00125,
+        quantisation_bits: Optional[int] = 4,
+        csi_range_db: Tuple[float, float] = (-10.0, 30.0),
+    ) -> None:
+        self.delay_s = check_non_negative("delay_s", delay_s)
+        if quantisation_bits is not None and quantisation_bits < 1:
+            raise ValueError("quantisation_bits must be >= 1 or None")
+        self.quantisation_bits = quantisation_bits
+        if csi_range_db[1] <= csi_range_db[0]:
+            raise ValueError("csi_range_db must be an increasing pair")
+        self.csi_range_db = (float(csi_range_db[0]), float(csi_range_db[1]))
+        # (report_time, value) pairs waiting to be delivered.
+        self._pipeline: Deque[Tuple[float, float]] = collections.deque()
+        self._delivered: Optional[float] = None
+
+    def quantise(self, csi_linear: float) -> float:
+        """Quantise a linear CSI value onto the feedback grid."""
+        if csi_linear <= 0.0:
+            return 0.0
+        if self.quantisation_bits is None:
+            return float(csi_linear)
+        lo, hi = self.csi_range_db
+        levels = 2 ** self.quantisation_bits
+        csi_db = 10.0 * math.log10(csi_linear)
+        csi_db = min(max(csi_db, lo), hi)
+        step = (hi - lo) / (levels - 1)
+        idx = round((csi_db - lo) / step)
+        return float(10.0 ** ((lo + idx * step) / 10.0))
+
+    def report(self, time_s: float, csi_linear: float) -> None:
+        """Receiver reports a CSI measurement at simulation time ``time_s``."""
+        self._pipeline.append((float(time_s), self.quantise(csi_linear)))
+
+    def transmitter_csi(self, time_s: float) -> Optional[float]:
+        """CSI available at the transmitter at time ``time_s``.
+
+        Returns the most recent report older than the feedback delay, or
+        ``None`` if no report has propagated yet.
+        """
+        while self._pipeline and self._pipeline[0][0] + self.delay_s <= time_s:
+            _, value = self._pipeline.popleft()
+            self._delivered = value
+        return self._delivered

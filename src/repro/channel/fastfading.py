@@ -1,0 +1,191 @@
+"""Fast (multipath) fading ``Xs(t)``.
+
+Section 2.1 of the paper: "Fast fading is caused by the superposition of
+multipath components and is therefore fluctuating in a very fast manner (on
+the order of a few msec)."
+
+Two complementary models are provided:
+
+* :class:`RayleighBlockFading` — the power gain in each coding block (frame)
+  is an independent-ish exponential random variable with unit mean, but an
+  optional first-order temporal correlation parameterised by the Doppler
+  frequency keeps successive frames correlated (Jakes autocorrelation
+  ``J0(2*pi*fd*dt)`` mapped onto a Gauss-Markov complex amplitude).  This is
+  the model used by the symbol-by-symbol VTAOC analysis and the dynamic
+  simulation.
+* :class:`JakesFading` — classical sum-of-sinusoids generator producing a
+  continuous sample path; used for validating the statistics of the block
+  model and in the physical-layer example scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+from scipy import special
+
+from repro.utils.validation import check_non_negative, check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "NoFading",
+    "RayleighBlockFading",
+    "JakesFading",
+    "rayleigh_power_samples",
+    "doppler_frequency_hz",
+]
+
+
+def doppler_frequency_hz(speed_m_s: float, carrier_frequency_hz: float) -> float:
+    """Maximum Doppler shift ``fd = v * fc / c`` in Hz."""
+    check_non_negative("speed_m_s", speed_m_s)
+    check_positive("carrier_frequency_hz", carrier_frequency_hz)
+    from repro import constants
+
+    return speed_m_s * carrier_frequency_hz / constants.SPEED_OF_LIGHT_M_S
+
+
+def rayleigh_power_samples(
+    rng: np.random.Generator, size: int, mean: float = 1.0
+) -> np.ndarray:
+    """Draw i.i.d. Rayleigh-fading *power* gains (exponential with ``mean``)."""
+    check_positive("mean", mean)
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    return rng.exponential(scale=mean, size=size)
+
+
+class NoFading:
+    """Fading model stub that always returns unit power gain."""
+
+    def current_power(self) -> float:
+        """Current fading power gain (always 1)."""
+        return 1.0
+
+    def advance(self, dt_s: float) -> float:
+        """Advance time; the gain stays 1."""
+        check_non_negative("dt_s", dt_s)
+        return 1.0
+
+
+class RayleighBlockFading:
+    """Block Rayleigh fading with optional inter-block correlation.
+
+    The complex amplitude ``h`` evolves as a Gauss-Markov process
+
+    ``h(k+1) = rho * h(k) + sqrt(1 - rho^2) * w(k)``,
+
+    with ``w(k)`` standard complex normal and ``rho = J0(2*pi*fd*dt)`` clipped
+    to ``[0, 1)``.  The *power* gain is ``|h|^2`` which is exponentially
+    distributed with unit mean in steady state, i.e. Rayleigh amplitude
+    fading.
+
+    Parameters
+    ----------
+    doppler_hz:
+        Maximum Doppler frequency; 0 freezes the channel.
+    rng:
+        Random generator.
+    """
+
+    def __init__(
+        self,
+        doppler_hz: float = 10.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.doppler_hz = check_non_negative("doppler_hz", doppler_hz)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Complex amplitude with E[|h|^2] = 1.
+        self._h = (self._rng.normal(scale=math.sqrt(0.5)) + 1j * self._rng.normal(
+            scale=math.sqrt(0.5)
+        ))
+
+    def current_power(self) -> float:
+        """Current fading power gain ``|h|^2``."""
+        return float(abs(self._h) ** 2)
+
+    def correlation(self, dt_s: float) -> float:
+        """Amplitude autocorrelation over ``dt_s`` seconds (Jakes ``J0``)."""
+        check_non_negative("dt_s", dt_s)
+        if self.doppler_hz == 0.0:
+            return 1.0
+        rho = float(special.j0(2.0 * math.pi * self.doppler_hz * dt_s))
+        return min(max(rho, 0.0), 1.0)
+
+    def advance(self, dt_s: float) -> float:
+        """Advance the channel by ``dt_s`` seconds; return the new power gain."""
+        rho = self.correlation(dt_s)
+        if rho < 1.0:
+            w = self._rng.normal(scale=math.sqrt(0.5)) + 1j * self._rng.normal(
+                scale=math.sqrt(0.5)
+            )
+            self._h = rho * self._h + math.sqrt(1.0 - rho * rho) * w
+        return self.current_power()
+
+    def sample_block_powers(self, dt_s: float, num_blocks: int) -> np.ndarray:
+        """Return ``num_blocks`` successive block power gains spaced ``dt_s`` apart."""
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        out = np.empty(num_blocks, dtype=float)
+        for i in range(num_blocks):
+            out[i] = self.advance(dt_s)
+        return out
+
+
+class JakesFading:
+    """Sum-of-sinusoids (Jakes/Clarke) Rayleigh fading sample-path generator.
+
+    Parameters
+    ----------
+    doppler_hz:
+        Maximum Doppler frequency in Hz.
+    num_oscillators:
+        Number of sinusoids in the quadrature sums (8–16 is ample).
+    rng:
+        Random generator used to draw the oscillator phases.
+    """
+
+    def __init__(
+        self,
+        doppler_hz: float,
+        num_oscillators: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.doppler_hz = check_positive("doppler_hz", doppler_hz)
+        if num_oscillators < 1:
+            raise ValueError("num_oscillators must be at least 1")
+        self.num_oscillators = int(num_oscillators)
+        rng = rng if rng is not None else np.random.default_rng()
+        n = self.num_oscillators
+        # Random arrival angles and phases (Clarke's model with random phases).
+        self._theta = rng.uniform(0.0, 2.0 * math.pi, size=n)
+        self._phi_i = rng.uniform(0.0, 2.0 * math.pi, size=n)
+        self._phi_q = rng.uniform(0.0, 2.0 * math.pi, size=n)
+
+    def amplitude(self, t_s: ArrayLike) -> ArrayLike:
+        """Complex fading amplitude at times ``t_s`` (seconds)."""
+        t = np.atleast_1d(np.asarray(t_s, dtype=float))
+        wd = 2.0 * math.pi * self.doppler_hz
+        # Shape: (len(t), num_oscillators)
+        arg = wd * np.outer(t, np.cos(self._theta))
+        in_phase = np.cos(arg + self._phi_i).sum(axis=1)
+        quadrature = np.cos(arg + self._phi_q).sum(axis=1)
+        h = (in_phase + 1j * quadrature) / math.sqrt(self.num_oscillators)
+        if np.isscalar(t_s) or np.ndim(t_s) == 0:
+            return complex(h[0])
+        return h
+
+    def power(self, t_s: ArrayLike) -> ArrayLike:
+        """Fading power gain ``|h(t)|^2`` at times ``t_s``."""
+        h = self.amplitude(t_s)
+        p = np.abs(h) ** 2
+        if np.isscalar(t_s) or np.ndim(t_s) == 0:
+            return float(p)
+        return p
+
+    def coherence_time_s(self) -> float:
+        """Approximate coherence time ``0.423 / fd`` (Clarke's definition)."""
+        return 0.423 / self.doppler_hz

@@ -1,0 +1,49 @@
+"""A small discrete-event simulation (DES) engine.
+
+The dynamic system simulation the paper describes ("dynamic simulations which
+takes into account of the user mobility, power control, and soft hand-off")
+needs a process-oriented discrete-event kernel.  ``simpy`` is not available in
+the reproduction environment, so this package provides a self-contained,
+deterministic engine with a very similar programming model:
+
+* :class:`~repro.des.core.Environment` — event queue and simulation clock.
+* :class:`~repro.des.core.Event` / :class:`~repro.des.core.Timeout` —
+  one-shot events with callbacks.
+* :class:`~repro.des.core.Process` — generator-based processes that ``yield``
+  events (timeouts, other events, other processes).
+* :class:`~repro.des.queues.Store` / :class:`~repro.des.queues.Resource` —
+  producer/consumer queues and counted resources.
+* :class:`~repro.des.monitor.Monitor` — time-series probe.
+
+Determinism: events scheduled for the same simulation time fire in FIFO order
+of their scheduling (a monotonically increasing sequence number breaks ties),
+which makes every simulation exactly reproducible for a fixed seed.
+"""
+
+from repro.des.core import (
+    Environment,
+    Event,
+    Timeout,
+    Process,
+    Interrupt,
+    SimulationError,
+    AllOf,
+    AnyOf,
+)
+from repro.des.queues import Store, PriorityStore, Resource
+from repro.des.monitor import Monitor
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "PriorityStore",
+    "Resource",
+    "Monitor",
+]

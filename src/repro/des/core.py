@@ -1,0 +1,441 @@
+"""Core of the discrete-event simulation engine.
+
+The engine is a conventional event-list kernel: an
+:class:`Environment` owns a priority queue of ``(time, priority, seq, event)``
+entries, and :meth:`Environment.run` pops them in order, advancing the clock
+and firing callbacks.  Processes are plain Python generators that ``yield``
+events; the :class:`Process` wrapper resumes the generator whenever the
+yielded event fires, mirroring the ``simpy`` programming model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+]
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    Attributes
+    ----------
+    cause:
+        The value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Event priority: events marked *urgent* fire before normal events scheduled
+#: at the same time.  Used internally so that a process resumption happens
+#: before ordinary same-time events.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot event that can succeed with a value or fail with an error.
+
+    Callbacks appended to :attr:`callbacks` are invoked (with the event as
+    sole argument) when the event is processed by the environment.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        #: Set when a failure was handled (prevents "unhandled failure" checks).
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Invalid before triggering."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when it failed)."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire with an exception."""
+        if self._ok is not None:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of ``event`` (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError("negative delay in Timeout")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator and resumes it whenever the yielded event fires.
+
+    The process itself is an event that succeeds with the generator's return
+    value (``StopIteration.value``) or fails with an uncaught exception.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError("Process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process: raise :class:`Interrupt` inside it.
+
+        The interrupt is delivered as an urgent event so it pre-empts any
+        other same-time activity.  Interrupting a finished process raises
+        :class:`SimulationError`.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=URGENT)
+
+    # -- generator driving -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        # Detach from the old target (it may still hold a callback if the
+        # wake-up came from an interrupt rather than from the target itself).
+        if (
+            self._target is not None
+            and self._target is not event
+            and self._target.callbacks is not None
+        ):
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event.defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.env._active_process = None
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._target = None
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(result, Event):
+            self._target = None
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded a non-event object: {result!r}"))
+            return
+        self._target = result
+        if result.callbacks is not None:
+            result.callbacks.append(self._resume)
+        else:
+            # Already processed: resume immediately via an urgent event.
+            wakeup = Event(self.env)
+            wakeup._ok = result._ok
+            wakeup._value = result._value
+            wakeup.defused = True
+            wakeup.callbacks.append(self._resume)
+            self.env.schedule(wakeup, priority=URGENT)
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value for condition events (:class:`AllOf`)."""
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        self._fired: set = set()
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise TypeError("condition events must be Event instances")
+        for ev in self._events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._check)
+        # Degenerate case: no events at all.
+        if not self._events and self._ok is None:
+            self.succeed(ConditionValue())
+
+    def _collect_values(self) -> ConditionValue:
+        values = ConditionValue()
+        for ev in self._events:
+            if id(ev) in self._fired and ev._ok:
+                values[ev] = ev._value
+        return values
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Event that fires when *all* component events have fired."""
+
+    def _check(self, event: Event) -> None:
+        self._fired.add(id(event))
+        if self._ok is not None:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if len(self._fired) >= len(self._events):
+            self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Event that fires as soon as *any* component event has fired."""
+
+    def _check(self, event: Event) -> None:
+        self._fired.add(id(event))
+        if self._ok is not None:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect_values())
+
+
+class Environment:
+    """Simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> log = []
+    >>> def proc(env):
+    ...     yield env.timeout(2.0)
+    ...     log.append(env.now)
+    >>> _ = env.process(proc(env))
+    >>> env.run()
+    >>> log
+    [2.0]
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert ``event`` into the queue ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when the queue is empty)."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty, or an event failed with no handler.
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue drains.
+            * a number — run until the clock reaches that time.
+            * an :class:`Event` — run until that event is processed and
+              return its value (re-raising its exception on failure).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("until lies in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+        else:
+            if stop_time is not None:
+                self._now = stop_time
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) finished but the event never triggered"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None

@@ -1,0 +1,73 @@
+"""Time-series probes for discrete-event simulations."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.des.core import Environment
+from repro.utils.stats import RunningStats, TimeWeightedStats
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Records ``(time, value)`` samples and summary statistics.
+
+    Parameters
+    ----------
+    env:
+        Environment whose clock timestamps the samples; may be ``None`` when
+        times are supplied explicitly.
+    name:
+        Optional label used in reports.
+    keep_series:
+        When False only the streaming statistics are kept (saves memory in
+        long runs).
+    """
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        name: str = "",
+        keep_series: bool = True,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.keep_series = keep_series
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self.stats = RunningStats()
+        self.time_weighted = TimeWeightedStats()
+
+    def record(self, value: float, time: Optional[float] = None) -> None:
+        """Record one sample at ``time`` (defaults to the environment clock)."""
+        if time is None:
+            if self.env is None:
+                raise ValueError("no environment attached; time must be given")
+            time = self.env.now
+        if self.keep_series:
+            self._times.append(float(time))
+            self._values.append(float(value))
+        self.stats.add(value)
+        self.time_weighted.record(time, value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the recorded values."""
+        return self.stats.mean
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the recorded ``(times, values)`` arrays."""
+        if not self.keep_series:
+            raise RuntimeError("series were not retained (keep_series=False)")
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Monitor(name={self.name!r}, count={self.count}, mean={self.mean:.4g})"

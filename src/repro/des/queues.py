@@ -1,0 +1,233 @@
+"""Producer/consumer queues and counted resources for the DES engine.
+
+These primitives follow the ``simpy`` resource model: ``put``/``get`` (or
+``request``/``release``) return events that a process can ``yield`` on; the
+queue wakes waiters in FIFO order (priority order for
+:class:`PriorityStore`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.des.core import Environment, Event, SimulationError
+
+__all__ = ["Store", "PriorityStore", "Resource"]
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds when the item is stored."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the retrieved item."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """Unbounded-or-bounded FIFO store of arbitrary items.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of items held; ``None`` means unbounded.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 (or None for unbounded)")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals ----------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if self.capacity is None or len(self.items) < self.capacity:
+            self._store_item(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._retrieve_item())
+            return True
+        return False
+
+    def _store_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _retrieve_item(self) -> Any:
+        return self.items.popleft()
+
+    def _trigger(self) -> None:
+        # Serve pending gets then pending puts until no more progress.
+        progress = True
+        while progress:
+            progress = False
+            while self._get_waiters and self.items:
+                waiter = self._get_waiters.popleft()
+                self._do_get(waiter)
+                progress = True
+            while self._put_waiters and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                waiter = self._put_waiters.popleft()
+                self._do_put(waiter)
+                progress = True
+
+    # -- public API -----------------------------------------------------------
+    def put(self, item: Any) -> StorePut:
+        """Store ``item``; the returned event fires once there is room."""
+        event = StorePut(self, item)
+        if not self._do_put(event):
+            self._put_waiters.append(event)
+        else:
+            self._trigger()
+        return event
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; the returned event fires when one exists."""
+        event = StoreGet(self)
+        if not self._do_get(event):
+            self._get_waiters.append(event)
+        else:
+            self._trigger()
+        return event
+
+
+class PriorityStore(Store):
+    """Store that yields items in ascending priority order.
+
+    Items are inserted as ``(priority, item)`` pairs via :meth:`put_item`
+    (or ``put`` with a tuple); ties are broken by insertion order.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[Tuple[Any, int, Any]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _store_item(self, item: Any) -> None:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            raise TypeError("PriorityStore items must be (priority, item) tuples")
+        priority, payload = item
+        heapq.heappush(self._heap, (priority, next(self._counter), payload))
+
+    def _retrieve_item(self) -> Any:
+        priority, _, payload = heapq.heappop(self._heap)
+        return payload
+
+    def _do_put(self, event: StorePut) -> bool:
+        if self.capacity is None or len(self._heap) < self.capacity:
+            self._store_item(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self._heap:
+            event.succeed(self._retrieve_item())
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._get_waiters and self._heap:
+                waiter = self._get_waiters.popleft()
+                self._do_get(waiter)
+                progress = True
+            while self._put_waiters and (
+                self.capacity is None or len(self._heap) < self.capacity
+            ):
+                waiter = self._put_waiters.popleft()
+                self._do_put(waiter)
+                progress = True
+
+    def put_item(self, priority: Any, item: Any) -> StorePut:
+        """Convenience wrapper: ``put((priority, item))``."""
+        return self.put((priority, item))
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.released = False
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted resource with FIFO request queue.
+
+    A process acquires one unit via ``yield resource.request()`` and frees it
+    with :meth:`release` (or by using the request as a context manager).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self.queue: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        """Request one unit of the resource."""
+        event = ResourceRequest(self)
+        if len(self.users) < self.capacity:
+            self.users.append(event)
+            event.succeed()
+        else:
+            self.queue.append(event)
+        return event
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a previously granted (or still queued) request."""
+        if request.released:
+            return
+        request.released = True
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+            return
+        else:
+            raise SimulationError("released a request unknown to this resource")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()

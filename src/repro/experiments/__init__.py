@@ -1,0 +1,55 @@
+"""Evaluation harness: regenerates every table and figure of the reproduction.
+
+The paper's own evaluation section defers the numeric results to a companion
+technical report, but it states the evaluation methodology (dynamic
+simulations with user mobility, power control and soft hand-off) and the
+reported metrics (average packet delay, data user capacity, coverage).  Each
+module here regenerates one of the experiments defined in DESIGN.md §3:
+
+========  ==================================================================
+ID        Module
+========  ==================================================================
+F1        :mod:`repro.experiments.phy_throughput`
+F2 / F3   :mod:`repro.experiments.delay_vs_load`
+F4        :mod:`repro.experiments.coverage`
+F5        :mod:`repro.experiments.objectives_tradeoff`
+F6        :mod:`repro.experiments.solver_ablation`
+T1        :mod:`repro.experiments.capacity`
+T2        :mod:`repro.experiments.delay_vs_load` (admission statistics)
+T3        :mod:`repro.experiments.handoff_ablation`
+========  ==================================================================
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` and a ``main()`` that
+prints the paper-style table; the corresponding pytest-benchmark lives in
+``benchmarks/``.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_scheduler_factories,
+    paper_scenario,
+    paper_traffic,
+)
+from repro.experiments.phy_throughput import run_phy_throughput
+from repro.experiments.delay_vs_load import run_delay_vs_load, run_admission_statistics
+from repro.experiments.capacity import run_capacity
+from repro.experiments.coverage import run_coverage
+from repro.experiments.objectives_tradeoff import run_objectives_tradeoff
+from repro.experiments.solver_ablation import run_solver_ablation
+from repro.experiments.handoff_ablation import run_handoff_ablation
+
+__all__ = [
+    "ExperimentResult",
+    "default_scheduler_factories",
+    "paper_scenario",
+    "paper_traffic",
+    "run_phy_throughput",
+    "run_delay_vs_load",
+    "run_admission_statistics",
+    "run_capacity",
+    "run_coverage",
+    "run_objectives_tradeoff",
+    "run_solver_ablation",
+    "run_handoff_ablation",
+]

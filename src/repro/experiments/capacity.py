@@ -1,0 +1,91 @@
+"""Experiment T1 — data user capacity at a delay target.
+
+"Data user capacity" is the largest number of high-speed data users per cell
+for which the average packet-call delay stays below a target.  The experiment
+walks the same load axis as F2/F3 and, per scheduler, reports the largest
+load meeting the target together with the delays observed at every probed
+load (so the capacity estimate can be audited).
+
+Expected shape: JABA-SD supports the most data users per cell, equal-share is
+second and FCFS last, mirroring the delay curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    SchedulerFactory,
+    default_scheduler_factories,
+    paper_scenario,
+)
+from repro.simulation.runner import average_results, run_scenario
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["run_capacity", "main"]
+
+
+def run_capacity(
+    delay_target_s: float = 1.0,
+    loads: Optional[Sequence[int]] = None,
+    scenario: Optional[ScenarioConfig] = None,
+    scheduler_factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    num_seeds: int = 1,
+) -> ExperimentResult:
+    """Estimate the per-cell data-user capacity of every scheduler.
+
+    Parameters
+    ----------
+    delay_target_s:
+        Mean packet-call delay that still counts as acceptable service.
+    loads:
+        Increasing data-user populations probed (default 6, 12, 18, 24, 30).
+    scenario / scheduler_factories / num_seeds:
+        As in :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
+    """
+    if delay_target_s <= 0.0:
+        raise ValueError("delay_target_s must be positive")
+    loads = sorted(loads) if loads is not None else [6, 12, 18, 24, 30]
+    scenario = scenario if scenario is not None else paper_scenario()
+    factories = dict(scheduler_factories or default_scheduler_factories())
+
+    result = ExperimentResult(
+        experiment_id="T1",
+        title=(
+            f"Data user capacity per cell (largest load with mean packet delay "
+            f"<= {delay_target_s:g} s)"
+        ),
+    )
+    for label, factory in factories.items():
+        capacity = 0
+        probed = {}
+        for load in loads:
+            runs = run_scenario(scenario.with_load(int(load)), factory, num_seeds)
+            summary = average_results(runs)
+            delay = summary.mean_packet_delay_s
+            probed[int(load)] = delay
+            if not math.isnan(delay) and delay <= delay_target_s:
+                capacity = int(load)
+            elif not math.isnan(delay) and delay > delay_target_s:
+                # Delays are monotone in load apart from noise; once the
+                # target is exceeded there is no need to probe heavier loads.
+                break
+        record = {"scheduler": label, "capacity_users_per_cell": capacity}
+        for load, delay in probed.items():
+            record[f"delay@{load}"] = delay
+        result.add(**record)
+    result.notes = (
+        "Capacity = largest probed load whose mean delay met the target; the "
+        "delay@<load> columns record the probes used for the estimate."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_capacity().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

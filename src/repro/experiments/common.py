@@ -1,0 +1,115 @@
+"""Shared infrastructure of the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.mac.schedulers import (
+    BurstScheduler,
+    EqualShareScheduler,
+    FcfsScheduler,
+    JabaSdScheduler,
+)
+from repro.simulation.scenario import MobilityConfig, ScenarioConfig, TrafficConfig
+from repro.utils.tables import format_records
+
+__all__ = [
+    "ExperimentResult",
+    "default_scheduler_factories",
+    "paper_traffic",
+    "paper_scenario",
+]
+
+SchedulerFactory = Callable[[], BurstScheduler]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: an id, a title and a list of table rows."""
+
+    experiment_id: str
+    title: str
+    records: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **record: object) -> None:
+        """Append one table row."""
+        self.records.append(dict(record))
+
+    def to_table(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the result as the paper-style ASCII table."""
+        header = f"[{self.experiment_id}] {self.title}"
+        table = format_records(self.records, columns=columns, title=header)
+        if self.notes:
+            table += f"\n\n{self.notes}"
+        return table
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column across all records."""
+        return [record.get(name) for record in self.records]
+
+    def filtered(self, **criteria: object) -> List[Dict[str, object]]:
+        """Records matching all the given key/value criteria."""
+        out = []
+        for record in self.records:
+            if all(record.get(key) == value for key, value in criteria.items()):
+                out.append(record)
+        return out
+
+
+def default_scheduler_factories(
+    include_greedy: bool = False,
+) -> Dict[str, SchedulerFactory]:
+    """The scheduling policies compared throughout the evaluation.
+
+    JABA-SD under both objectives plus the two baselines named by the paper;
+    the greedy JABA-SD variant can be added for the ablation experiments.
+    """
+    factories: Dict[str, SchedulerFactory] = {
+        "JABA-SD(J1)": lambda: JabaSdScheduler("J1"),
+        "JABA-SD(J2)": lambda: JabaSdScheduler("J2"),
+        "FCFS": FcfsScheduler,
+        "EqualShare": EqualShareScheduler,
+    }
+    if include_greedy:
+        factories["JABA-SD(J1/greedy)"] = lambda: JabaSdScheduler("J1", solver="greedy")
+    return factories
+
+
+def paper_traffic() -> TrafficConfig:
+    """WWW packet-call traffic mix used by the dynamic-simulation experiments.
+
+    Heavier than the library default so the interesting (contention) region
+    of the delay-vs-load curves is reached with a moderate number of data
+    users per cell; the exact values are recorded in EXPERIMENTS.md.
+    """
+    return TrafficConfig(
+        mean_reading_time_s=2.0,
+        packet_call_shape=1.8,
+        packet_call_min_bits=32_000.0,
+        packet_call_max_bits=2_000_000.0,
+        forward_fraction=0.7,
+    )
+
+
+def paper_scenario(
+    num_data_users_per_cell: int = 12,
+    num_voice_users_per_cell: int = 8,
+    duration_s: float = 20.0,
+    warmup_s: float = 4.0,
+    seed: int = 2001,
+    system: Optional[SystemConfig] = None,
+) -> ScenarioConfig:
+    """The reference dynamic-simulation scenario (7-cell wrap-around)."""
+    return ScenarioConfig(
+        system=system if system is not None else SystemConfig(),
+        num_data_users_per_cell=num_data_users_per_cell,
+        num_voice_users_per_cell=num_voice_users_per_cell,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        traffic=paper_traffic(),
+        mobility=MobilityConfig(),
+    )

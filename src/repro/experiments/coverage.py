@@ -1,0 +1,123 @@
+"""Experiment F4 — coverage of the high-speed data service.
+
+Coverage is measured with Monte-Carlo drops (:class:`SnapshotSimulator`):
+users are placed uniformly, shadowing is drawn, voice users are active with
+the stationary activity factor, every data user requests a burst, one
+admission decision is run, and a user counts as *covered* when its granted
+SCH rate reaches at least a minimum rate.  The experiment sweeps the offered
+data load (users per cell) and, optionally, the cell radius.
+
+Expected shape: coverage degrades with load for every scheduler, but
+JABA-SD keeps more users above the minimum rate than equal-share and FCFS at
+the same load (the paper's "coverage" superiority claim); larger cells lower
+coverage for all schedulers (path-loss limited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    SchedulerFactory,
+    default_scheduler_factories,
+)
+from repro.mac.requests import LinkDirection
+from repro.simulation.snapshot import SnapshotSimulator
+
+__all__ = ["run_coverage", "main"]
+
+
+def run_coverage(
+    loads: Optional[Sequence[int]] = None,
+    cell_radii_m: Optional[Sequence[float]] = None,
+    num_drops: int = 30,
+    min_rate_bps: float = 38_400.0,
+    burst_size_bits: float = 200_000.0,
+    num_voice_users_per_cell: int = 8,
+    link: LinkDirection = LinkDirection.FORWARD,
+    config: Optional[SystemConfig] = None,
+    scheduler_factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Coverage vs. data load (and optionally cell radius) per scheduler.
+
+    Parameters
+    ----------
+    loads:
+        Data users per cell requesting simultaneously (default 4, 8, 16, 24).
+    cell_radii_m:
+        Cell radii swept at the middle load; ``None`` keeps the configured
+        radius only.
+    num_drops:
+        Monte-Carlo drops per point.
+    min_rate_bps:
+        Rate threshold defining a covered user.
+    link:
+        Link on which the requests are placed.
+    """
+    loads = list(loads) if loads is not None else [4, 8, 16, 24]
+    config = config if config is not None else SystemConfig()
+    factories = dict(scheduler_factories or default_scheduler_factories())
+
+    result = ExperimentResult(
+        experiment_id="F4",
+        title=(
+            f"Coverage: fraction of data users granted >= {min_rate_bps / 1e3:.1f} kbps "
+            f"({link.value} link, {num_drops} drops per point)"
+        ),
+    )
+
+    def run_point(label, factory, load, radius_m):
+        point_config = (
+            config
+            if radius_m is None
+            else config.with_overrides(radio=replace(config.radio, cell_radius_m=radius_m))
+        )
+        simulator = SnapshotSimulator(
+            config=point_config,
+            scheduler=factory(),
+            num_data_users_per_cell=int(load),
+            num_voice_users_per_cell=num_voice_users_per_cell,
+            burst_size_bits=burst_size_bits,
+            link=link,
+            min_rate_bps=min_rate_bps,
+            seed=seed,
+        )
+        snapshot = simulator.run_drops(num_drops)
+        result.add(
+            scheduler=label,
+            data_users_per_cell=int(load),
+            cell_radius_m=float(radius_m if radius_m is not None else config.radio.cell_radius_m),
+            coverage=snapshot.coverage,
+            mean_rate_kbps=snapshot.mean_granted_rate_bps / 1e3,
+            aggregate_kbps=snapshot.aggregate_throughput_bps / 1e3,
+            grant_fraction=snapshot.grant_fraction,
+            fch_outage=snapshot.fch_outage,
+        )
+
+    for load in loads:
+        for label, factory in factories.items():
+            run_point(label, factory, load, None)
+
+    if cell_radii_m:
+        mid_load = loads[len(loads) // 2]
+        for radius in cell_radii_m:
+            for label, factory in factories.items():
+                run_point(label, factory, mid_load, float(radius))
+
+    result.notes = (
+        "Coverage is per-drop averaged; at equal load JABA-SD is expected to "
+        "keep the largest fraction of users above the minimum rate."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_coverage().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,134 @@
+"""Experiments F2 / F3 / T2 — average packet delay vs. offered load.
+
+This is the paper's headline evaluation: the average packet (packet-call)
+delay as a function of the number of high-speed data users per cell, under
+the JABA-SD scheduler (objectives J1 and J2) and the two baselines (cdma2000
+FCFS single-burst admission, equal sharing).  The forward link (F2) and the
+reverse link (F3) are admitted — and reported — independently.
+
+Experiment T2 reuses the same runs and reports the admission statistics
+(grant rate, mean granted spreading-gain ratio, utilisation, outage) at one
+fixed load.
+
+Expected shape: at light load all schedulers coincide (no contention); beyond
+the knee JABA-SD sustains markedly lower delay and higher carried throughput
+than equal-share, which in turn beats FCFS; J2 trades a little mean delay for
+a shorter tail under heavy load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    SchedulerFactory,
+    default_scheduler_factories,
+    paper_scenario,
+)
+from repro.simulation.runner import average_results, run_scenario
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["run_delay_vs_load", "run_admission_statistics", "main"]
+
+
+def run_delay_vs_load(
+    loads: Optional[Sequence[int]] = None,
+    scenario: Optional[ScenarioConfig] = None,
+    scheduler_factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    num_seeds: int = 1,
+) -> ExperimentResult:
+    """Sweep the data-user population and record per-link packet delays.
+
+    Parameters
+    ----------
+    loads:
+        Numbers of data users per cell (default 6, 12, 18, 24).
+    scenario:
+        Base dynamic-simulation scenario (default :func:`paper_scenario`).
+    scheduler_factories:
+        Mapping of scheduler label to factory; defaults to JABA-SD(J1/J2),
+        FCFS and equal-share.
+    num_seeds:
+        Independent seeds averaged per point.
+    """
+    loads = list(loads) if loads is not None else [6, 12, 18, 24]
+    scenario = scenario if scenario is not None else paper_scenario()
+    factories = dict(scheduler_factories or default_scheduler_factories())
+
+    result = ExperimentResult(
+        experiment_id="F2/F3",
+        title=(
+            "Average packet-call delay vs. data users per cell "
+            "(forward link = F2, reverse link = F3)"
+        ),
+    )
+    for load in loads:
+        load_scenario = scenario.with_load(int(load))
+        for label, factory in factories.items():
+            runs = run_scenario(load_scenario, factory, num_seeds=num_seeds)
+            summary = average_results(runs)
+            result.add(
+                scheduler=label,
+                data_users_per_cell=int(load),
+                mean_delay_s=summary.mean_packet_delay_s,
+                forward_delay_s=summary.mean_forward_delay_s,
+                reverse_delay_s=summary.mean_reverse_delay_s,
+                p90_delay_s=summary.p90_packet_delay_s,
+                carried_kbps=summary.carried_throughput_bps / 1e3,
+                offered_kbps=summary.offered_load_bps / 1e3,
+                grant_rate=summary.grant_rate,
+                mean_granted_m=summary.mean_granted_m,
+                forward_utilisation=summary.forward_utilisation,
+                reverse_rise_db=summary.reverse_rise_db,
+                fch_outage=summary.fch_outage_fraction,
+                completed_calls=summary.completed_packet_calls,
+            )
+    result.notes = (
+        "F2 = forward_delay_s column, F3 = reverse_delay_s column.  Expected "
+        "ordering beyond the knee: JABA-SD < EqualShare < FCFS."
+    )
+    return result
+
+
+def run_admission_statistics(
+    load: int = 18,
+    scenario: Optional[ScenarioConfig] = None,
+    scheduler_factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    num_seeds: int = 1,
+) -> ExperimentResult:
+    """Experiment T2: admission statistics at one fixed (loaded) operating point."""
+    sweep = run_delay_vs_load(
+        loads=[load],
+        scenario=scenario,
+        scheduler_factories=scheduler_factories,
+        num_seeds=num_seeds,
+    )
+    result = ExperimentResult(
+        experiment_id="T2",
+        title=f"Burst admission statistics at {load} data users per cell",
+        records=[
+            {
+                "scheduler": r["scheduler"],
+                "grant_rate": r["grant_rate"],
+                "mean_granted_m": r["mean_granted_m"],
+                "carried_kbps": r["carried_kbps"],
+                "forward_utilisation": r["forward_utilisation"],
+                "reverse_rise_db": r["reverse_rise_db"],
+                "fch_outage": r["fch_outage"],
+            }
+            for r in sweep.records
+        ],
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run_delay_vs_load()
+    print(result.to_table())
+    print()
+    print(run_admission_statistics().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

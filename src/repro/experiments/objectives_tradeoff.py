@@ -1,0 +1,95 @@
+"""Experiment F5 — objective J1 vs. J2: throughput / delay trade-off.
+
+The paper motivates objective J2 (eq. (20)) as a compromise between system
+utilisation and overall system delay: the delay penalty f(w, m*delta_rho)
+boosts requests that have been waiting, "despite the fact that those requests
+may be at poor transmission rate".  This experiment sweeps the delay-penalty
+scaling factor ``lambda`` (``delay_penalty_scale``) and records mean delay,
+tail delay and carried throughput, with ``lambda = 0`` reducing exactly to
+J1.
+
+Expected shape: increasing ``lambda`` shortens the delay tail (p90) at the
+cost of a small loss in carried throughput, because the scheduler
+occasionally serves stale requests from users in poor channel conditions
+instead of the instantaneously most efficient ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, paper_scenario
+from repro.mac.schedulers import JabaSdScheduler
+from repro.simulation.runner import average_results, run_scenario
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["run_objectives_tradeoff", "main"]
+
+
+def run_objectives_tradeoff(
+    penalty_scales: Optional[Sequence[float]] = None,
+    forgetting_factor: float = 0.2,
+    load: int = 18,
+    scenario: Optional[ScenarioConfig] = None,
+    num_seeds: int = 1,
+) -> ExperimentResult:
+    """Sweep the delay-penalty weight of objective J2 at a fixed (loaded) point.
+
+    Parameters
+    ----------
+    penalty_scales:
+        Values of ``lambda`` (``delay_penalty_scale``); 0 reproduces J1.
+    forgetting_factor:
+        ``mu`` (``delay_forgetting_factor``) used for all non-zero points.
+    load:
+        Data users per cell (choose a point beyond the knee of F2).
+    """
+    penalty_scales = (
+        list(penalty_scales) if penalty_scales is not None else [0.0, 0.5, 1.0, 2.0, 4.0]
+    )
+    base = scenario if scenario is not None else paper_scenario()
+    base = base.with_load(load)
+
+    result = ExperimentResult(
+        experiment_id="F5",
+        title=(
+            "J1 vs. J2 trade-off: delay and throughput as the delay-penalty "
+            f"weight lambda varies (mu = {forgetting_factor}, {load} data users/cell)"
+        ),
+    )
+    for scale in penalty_scales:
+        mac = replace(
+            base.system.mac,
+            delay_penalty_scale=float(scale),
+            delay_forgetting_factor=forgetting_factor if scale > 0 else 0.0,
+        )
+        system = base.system.with_overrides(mac=mac)
+        run_config = replace(base, system=system)
+        objective = "J1" if scale == 0 else "J2"
+        runs = run_scenario(
+            run_config, lambda obj=objective: JabaSdScheduler(obj), num_seeds=num_seeds
+        )
+        summary = average_results(runs)
+        result.add(
+            objective=objective,
+            delay_penalty_scale=float(scale),
+            mean_delay_s=summary.mean_packet_delay_s,
+            p90_delay_s=summary.p90_packet_delay_s,
+            carried_kbps=summary.carried_throughput_bps / 1e3,
+            mean_granted_m=summary.mean_granted_m,
+            completed_calls=summary.completed_packet_calls,
+        )
+    result.notes = (
+        "lambda = 0 is exactly objective J1; larger lambda trades carried "
+        "throughput for a shorter delay tail."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run_objectives_tradeoff().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

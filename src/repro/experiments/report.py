@@ -1,0 +1,72 @@
+"""Run the complete evaluation and render a consolidated report.
+
+``python -m repro.experiments.report`` regenerates every experiment at full
+scale (this takes a while — the dynamic-simulation experiments dominate) and
+prints the paper-style tables one after another.  Pass ``--quick`` for a
+reduced-size pass useful as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments.capacity import run_capacity
+from repro.experiments.common import ExperimentResult
+from repro.experiments.coverage import run_coverage
+from repro.experiments.delay_vs_load import run_admission_statistics, run_delay_vs_load
+from repro.experiments.handoff_ablation import run_handoff_ablation
+from repro.experiments.objectives_tradeoff import run_objectives_tradeoff
+from repro.experiments.phy_throughput import run_phy_throughput
+from repro.experiments.solver_ablation import run_solver_ablation
+
+__all__ = ["full_report", "quick_report", "main"]
+
+
+def full_report() -> List[ExperimentResult]:
+    """Run every experiment at the scale recorded in EXPERIMENTS.md."""
+    return [
+        run_phy_throughput(monte_carlo_samples=100_000),
+        run_delay_vs_load(loads=[6, 12, 18, 24], num_seeds=2),
+        run_admission_statistics(load=18, num_seeds=2),
+        run_capacity(loads=[6, 12, 18, 24, 30], num_seeds=1),
+        run_coverage(loads=[4, 8, 16, 24], num_drops=30),
+        run_objectives_tradeoff(load=18, num_seeds=1),
+        run_solver_ablation(request_counts=[2, 4, 8, 12, 16], instances_per_count=5),
+        run_handoff_ablation(num_drops=25),
+    ]
+
+
+def quick_report() -> List[ExperimentResult]:
+    """A reduced-size pass of every experiment (minutes instead of hours)."""
+    from repro.experiments.common import paper_scenario
+
+    small_scenario = paper_scenario(duration_s=6.0, warmup_s=1.0)
+    return [
+        run_phy_throughput(),
+        run_delay_vs_load(loads=[8, 16], scenario=small_scenario),
+        run_capacity(loads=[8, 16], scenario=small_scenario, delay_target_s=1.0),
+        run_coverage(loads=[8, 16], num_drops=6),
+        run_objectives_tradeoff(penalty_scales=[0.0, 2.0], load=16, scenario=small_scenario),
+        run_solver_ablation(request_counts=[4, 8], instances_per_count=2),
+        run_handoff_ablation(num_drops=6),
+    ]
+
+
+def main(argv=None) -> int:  # pragma: no cover - CLI entry point
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced-size pass")
+    args = parser.parse_args(argv)
+    started = time.time()
+    results = quick_report() if args.quick else full_report()
+    for result in results:
+        print(result.to_table())
+        print()
+    print(f"(report generated in {time.time() - started:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""User mobility models.
+
+The paper's evaluation is a dynamic simulation "which takes into account of
+the user mobility".  Two standard stochastic mobility models are provided
+(plus a static model for snapshot analyses):
+
+* :class:`RandomDirectionMobility` — the user moves in a straight line at a
+  constant speed, re-drawing direction (and optionally speed) after an
+  exponentially distributed epoch; the trajectory reflects off the region
+  boundary.  This is the model typically used in cellular-capacity studies
+  because it keeps the spatial user distribution approximately uniform.
+* :class:`RandomWaypointMobility` — the user picks a uniform waypoint,
+  travels to it at a uniform random speed and optionally pauses.
+
+Both models report the distance travelled per update, which drives the
+shadowing decorrelation (:class:`repro.channel.shadowing.GudmundsonShadowing`).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "MobilityModel",
+    "StaticMobility",
+    "RandomDirectionMobility",
+    "RandomWaypointMobility",
+]
+
+Bounds = Tuple[float, float, float, float]
+
+
+def _check_bounds(bounds: Bounds) -> Bounds:
+    xmin, xmax, ymin, ymax = (float(v) for v in bounds)
+    if xmax <= xmin or ymax <= ymin:
+        raise ValueError("bounds must satisfy xmin < xmax and ymin < ymax")
+    return xmin, xmax, ymin, ymax
+
+
+def _reflect(value: float, low: float, high: float) -> Tuple[float, bool]:
+    """Reflect ``value`` into ``[low, high]``; returns (value, reflected?)."""
+    reflected = False
+    span = high - low
+    # Fold the value into the range by successive reflections.
+    while value < low or value > high:
+        if value < low:
+            value = 2.0 * low - value
+        else:
+            value = 2.0 * high - value
+        reflected = True
+        if span <= 0:  # pragma: no cover - defensive
+            break
+    return value, reflected
+
+
+class MobilityModel(abc.ABC):
+    """Abstract mobility model: a position that advances with time."""
+
+    @property
+    @abc.abstractmethod
+    def position(self) -> np.ndarray:
+        """Current position, metres."""
+
+    @property
+    @abc.abstractmethod
+    def speed_m_s(self) -> float:
+        """Current speed, m/s."""
+
+    @abc.abstractmethod
+    def advance(self, dt_s: float) -> float:
+        """Advance by ``dt_s`` seconds; return the distance travelled (m)."""
+
+
+class StaticMobility(MobilityModel):
+    """A user that never moves (snapshot / Monte-Carlo drop analyses)."""
+
+    def __init__(self, position: np.ndarray) -> None:
+        self._position = np.asarray(position, dtype=float).reshape(2).copy()
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._position.copy()
+
+    @property
+    def speed_m_s(self) -> float:
+        return 0.0
+
+    def advance(self, dt_s: float) -> float:
+        check_non_negative("dt_s", dt_s)
+        return 0.0
+
+
+class RandomDirectionMobility(MobilityModel):
+    """Random-direction mobility with boundary reflection.
+
+    Parameters
+    ----------
+    initial_position:
+        Starting coordinates (m).
+    bounds:
+        Rectangular simulation region ``(xmin, xmax, ymin, ymax)``.
+    speed_m_s:
+        Constant speed, or a ``(low, high)`` range re-drawn at each epoch.
+    mean_epoch_s:
+        Mean duration between direction changes (exponential).
+    rng:
+        Random generator.
+    """
+
+    def __init__(
+        self,
+        initial_position: np.ndarray,
+        bounds: Bounds,
+        speed_m_s: float | Tuple[float, float] = 13.9,
+        mean_epoch_s: float = 20.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._bounds = _check_bounds(bounds)
+        self._position = np.asarray(initial_position, dtype=float).reshape(2).copy()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.mean_epoch_s = check_positive("mean_epoch_s", mean_epoch_s)
+        if isinstance(speed_m_s, tuple):
+            lo, hi = float(speed_m_s[0]), float(speed_m_s[1])
+            if lo < 0 or hi < lo:
+                raise ValueError("speed range must satisfy 0 <= low <= high")
+            self._speed_range: Optional[Tuple[float, float]] = (lo, hi)
+            self._speed = float(self._rng.uniform(lo, hi))
+        else:
+            self._speed_range = None
+            self._speed = check_non_negative("speed_m_s", speed_m_s)
+        self._direction = float(self._rng.uniform(0.0, 2.0 * math.pi))
+        self._time_to_epoch = float(self._rng.exponential(self.mean_epoch_s))
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._position.copy()
+
+    @property
+    def speed_m_s(self) -> float:
+        return self._speed
+
+    @property
+    def direction_rad(self) -> float:
+        """Current heading in radians."""
+        return self._direction
+
+    def _redraw(self) -> None:
+        self._direction = float(self._rng.uniform(0.0, 2.0 * math.pi))
+        if self._speed_range is not None:
+            self._speed = float(self._rng.uniform(*self._speed_range))
+        self._time_to_epoch = float(self._rng.exponential(self.mean_epoch_s))
+
+    def advance(self, dt_s: float) -> float:
+        check_non_negative("dt_s", dt_s)
+        remaining = dt_s
+        travelled = 0.0
+        xmin, xmax, ymin, ymax = self._bounds
+        while remaining > 0.0:
+            step = min(remaining, self._time_to_epoch)
+            dx = self._speed * step * math.cos(self._direction)
+            dy = self._speed * step * math.sin(self._direction)
+            x, rx = _reflect(self._position[0] + dx, xmin, xmax)
+            y, ry = _reflect(self._position[1] + dy, ymin, ymax)
+            travelled += self._speed * step
+            self._position[0] = x
+            self._position[1] = y
+            if rx or ry:
+                # Reverse/regenerate heading after bouncing off the boundary.
+                self._direction = float(self._rng.uniform(0.0, 2.0 * math.pi))
+            self._time_to_epoch -= step
+            remaining -= step
+            if self._time_to_epoch <= 0.0:
+                self._redraw()
+        return travelled
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random-waypoint mobility within a rectangular region.
+
+    Parameters
+    ----------
+    initial_position:
+        Starting coordinates (m).
+    bounds:
+        Rectangular region ``(xmin, xmax, ymin, ymax)``.
+    speed_range_m_s:
+        ``(low, high)`` of the uniform speed drawn for each leg.
+    pause_s:
+        Fixed pause at each waypoint.
+    rng:
+        Random generator.
+    """
+
+    def __init__(
+        self,
+        initial_position: np.ndarray,
+        bounds: Bounds,
+        speed_range_m_s: Tuple[float, float] = (1.0, 13.9),
+        pause_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._bounds = _check_bounds(bounds)
+        self._position = np.asarray(initial_position, dtype=float).reshape(2).copy()
+        lo, hi = float(speed_range_m_s[0]), float(speed_range_m_s[1])
+        if lo <= 0 or hi < lo:
+            raise ValueError("speed range must satisfy 0 < low <= high")
+        self._speed_range = (lo, hi)
+        self.pause_s = check_non_negative("pause_s", pause_s)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._pause_remaining = 0.0
+        self._waypoint = self._draw_waypoint()
+        self._speed = float(self._rng.uniform(lo, hi))
+
+    def _draw_waypoint(self) -> np.ndarray:
+        xmin, xmax, ymin, ymax = self._bounds
+        return np.array(
+            [self._rng.uniform(xmin, xmax), self._rng.uniform(ymin, ymax)]
+        )
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._position.copy()
+
+    @property
+    def speed_m_s(self) -> float:
+        return 0.0 if self._pause_remaining > 0.0 else self._speed
+
+    @property
+    def waypoint(self) -> np.ndarray:
+        """Current destination waypoint."""
+        return self._waypoint.copy()
+
+    def advance(self, dt_s: float) -> float:
+        check_non_negative("dt_s", dt_s)
+        remaining = dt_s
+        travelled = 0.0
+        while remaining > 1e-12:
+            if self._pause_remaining > 0.0:
+                waited = min(self._pause_remaining, remaining)
+                self._pause_remaining -= waited
+                remaining -= waited
+                continue
+            to_waypoint = self._waypoint - self._position
+            distance = float(np.hypot(*to_waypoint))
+            if distance < 1e-9:
+                self._waypoint = self._draw_waypoint()
+                self._speed = float(self._rng.uniform(*self._speed_range))
+                self._pause_remaining = self.pause_s
+                continue
+            max_step = self._speed * remaining
+            step = min(max_step, distance)
+            self._position += to_waypoint / distance * step
+            travelled += step
+            remaining -= step / self._speed
+            if step >= distance - 1e-12:
+                self._waypoint = self._draw_waypoint()
+                self._speed = float(self._rng.uniform(*self._speed_range))
+                self._pause_remaining = self.pause_s
+        return travelled

@@ -1,0 +1,67 @@
+"""Burst admission control MAC layer (Section 3 of the paper).
+
+A burst admission algorithm decomposes into two sub-layers:
+
+* the **measurement sub-layer** (:mod:`repro.mac.measurement`) turns the
+  radio-network measurements (cell loading, pilot strengths, interference)
+  into the *admissible region* of the concurrent burst requests — eqs. (7)
+  and (17);
+* the **scheduling sub-layer** (:mod:`repro.mac.schedulers`) chooses the
+  spreading-gain ratios ``m_j`` of the requests inside that region by solving
+  an integer program with either the throughput objective J1 (eq. (19)) or
+  the delay-aware objective J2 (eq. (20)) — this is the JABA-SD algorithm —
+  or with one of the baseline policies (cdma2000 FCFS, equal sharing).
+
+:class:`repro.mac.admission.BurstAdmissionController` ties the two together
+and is what the dynamic simulator invokes every frame, independently for the
+forward and the reverse link.
+"""
+
+from repro.mac.requests import BurstRequest, BurstGrant, LinkDirection
+from repro.mac.states import MacState, MacStateMachine, setup_delay_penalty
+from repro.mac.measurement import (
+    AdmissibleRegion,
+    ForwardLinkMeasurement,
+    ReverseLinkMeasurement,
+    relative_path_loss,
+)
+from repro.mac.objectives import (
+    ThroughputObjective,
+    DelayAwareObjective,
+    linear_delay_penalty,
+)
+from repro.mac.constraints import BurstDurationConstraint
+from repro.mac.admission import BurstAdmissionController, SchedulingInput
+from repro.mac.schedulers import (
+    BurstScheduler,
+    JabaSdScheduler,
+    FcfsScheduler,
+    EqualShareScheduler,
+    RoundRobinScheduler,
+    TemporalExtensionScheduler,
+)
+
+__all__ = [
+    "BurstRequest",
+    "BurstGrant",
+    "LinkDirection",
+    "MacState",
+    "MacStateMachine",
+    "setup_delay_penalty",
+    "AdmissibleRegion",
+    "ForwardLinkMeasurement",
+    "ReverseLinkMeasurement",
+    "relative_path_loss",
+    "ThroughputObjective",
+    "DelayAwareObjective",
+    "linear_delay_penalty",
+    "BurstDurationConstraint",
+    "BurstAdmissionController",
+    "SchedulingInput",
+    "BurstScheduler",
+    "JabaSdScheduler",
+    "FcfsScheduler",
+    "EqualShareScheduler",
+    "RoundRobinScheduler",
+    "TemporalExtensionScheduler",
+]

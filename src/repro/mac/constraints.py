@@ -1,0 +1,85 @@
+"""Per-request constraints of the scheduling integer program.
+
+Besides the admissible regions (eqs. (7) and (17)), each request carries the
+*burst-duration constraint* of eq. (24): "Since burst admission involves a
+large signalling overhead, it would not be justified if the assigned burst
+duration is too short.  Therefore, we have a lower bound (T1) on the assigned
+burst duration", which translates into an upper bound on the spreading-gain
+ratio,
+
+``m_j <= min(M, Q_j / (T1 * delta_rho_j * Rf))``
+
+because the assigned burst duration is ``Q_j / (m_j * delta_rho_j * Rf)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import MacConfig
+from repro.utils.validation import check_positive
+
+__all__ = ["BurstDurationConstraint"]
+
+
+@dataclass(frozen=True)
+class BurstDurationConstraint:
+    """Upper bound on ``m_j`` from the minimum-useful-burst-duration rule.
+
+    Parameters
+    ----------
+    config:
+        MAC configuration providing ``M`` (``max_spreading_gain_ratio``) and
+        the minimum burst duration ``T1`` (``min_burst_duration_s``).
+    fch_bit_rate_bps:
+        FCH bit rate ``Rf`` used to convert relative rates into bits/s.
+    """
+
+    config: MacConfig
+    fch_bit_rate_bps: float
+
+    def __post_init__(self) -> None:
+        check_positive("fch_bit_rate_bps", self.fch_bit_rate_bps)
+
+    def upper_bound(self, size_bits: float, delta_rho: float) -> int:
+        """Maximum admissible ``m_j`` for a request of ``size_bits`` bits.
+
+        The bound is clipped below at 1 so that a request whose residual
+        burst is already smaller than ``T1``'s worth of data can still be
+        served (otherwise the tail of every packet call would starve); the
+        signalling-overhead argument of eq. (24) only applies to *large*
+        assignments.
+        """
+        check_positive("size_bits", size_bits)
+        if delta_rho <= 0.0:
+            # A user in outage (zero average throughput) cannot use any rate.
+            return 0
+        duration_limited = size_bits / (
+            self.config.min_burst_duration_s * delta_rho * self.fch_bit_rate_bps
+        )
+        bound = min(float(self.config.max_spreading_gain_ratio), duration_limited)
+        return int(max(1, math.floor(bound + 1e-9)))
+
+    def upper_bounds(self, sizes_bits: np.ndarray, delta_rho: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`upper_bound` over all pending requests."""
+        sizes = np.asarray(sizes_bits, dtype=float)
+        rho = np.asarray(delta_rho, dtype=float)
+        if sizes.shape != rho.shape:
+            raise ValueError("sizes_bits and delta_rho must have the same shape")
+        out = np.zeros(sizes.shape, dtype=int)
+        for i in range(sizes.size):
+            out.flat[i] = self.upper_bound(float(sizes.flat[i]), float(rho.flat[i]))
+        return out
+
+    def burst_duration_s(self, size_bits: float, m: int, delta_rho: float) -> float:
+        """Time needed to drain ``size_bits`` at spreading-gain ratio ``m``."""
+        check_positive("size_bits", size_bits)
+        if m < 1:
+            raise ValueError("m must be >= 1 for a granted burst")
+        if delta_rho <= 0.0:
+            return math.inf
+        rate = m * delta_rho * self.fch_bit_rate_bps
+        return size_bits / rate

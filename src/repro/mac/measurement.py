@@ -1,0 +1,220 @@
+"""Measurement sub-layer: building the admissible regions (Section 3.1).
+
+The measurement sub-layer converts the radio-network measurements accompanying
+each burst request into the linear constraints of the scheduling problem:
+
+* **Forward link** (power limited): admitting request ``j`` with
+  spreading-gain ratio ``m_j`` consumes extra forward power
+  ``Delta P = m_j * gamma_s * P_{j,k} * alpha_j^{FL}`` at every base station
+  ``k`` in the request's reduced active set (eq. (6)); summing over the
+  concurrent requests of all cells yields ``A m <= P_max - P_k`` (eqs. (7)/(8)).
+
+* **Reverse link** (interference limited): the extra received interference at
+  a cell in soft hand-off with the requester follows from the reverse pilot
+  strength measurement (eqs. (9)–(12)); for neighbour cells *not* in soft
+  hand-off the interference is projected through the relative path loss
+  estimated from the forward pilot strengths reported in the SCRM message
+  (eqs. (13)–(15)), inflated by a shadowing margin.  Collecting the terms
+  gives ``B m <= L_max - L_k`` (eqs. (16)–(18)).
+
+Both regions are represented by :class:`AdmissibleRegion`, whose matrix/bound
+pair feeds directly into :class:`repro.opt.problem.BoundedIntegerProgram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cdma.network import NetworkSnapshot
+from repro.config import MacConfig, PhyConfig
+from repro.mac.requests import BurstRequest, LinkDirection
+
+__all__ = [
+    "AdmissibleRegion",
+    "relative_path_loss",
+    "ForwardLinkMeasurement",
+    "ReverseLinkMeasurement",
+]
+
+
+@dataclass(frozen=True)
+class AdmissibleRegion:
+    """Linear admissible region ``matrix @ m <= bounds`` of one link.
+
+    Attributes
+    ----------
+    matrix:
+        Per-unit resource consumption, shape ``(num_cells, num_requests)``
+        (``A`` of eq. (8) or ``B`` of eq. (18)).
+    bounds:
+        Remaining resource per cell (``P_max - P_k`` or ``L_max - L_k``),
+        clipped at zero, shape ``(num_cells,)``.
+    link:
+        Which link the region belongs to.
+    """
+
+    matrix: np.ndarray
+    bounds: np.ndarray
+    link: LinkDirection
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        bounds = np.asarray(self.bounds, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (cells x requests)")
+        if bounds.shape != (matrix.shape[0],):
+            raise ValueError("bounds must have one entry per cell")
+        if np.any(matrix < 0.0):
+            raise ValueError("admissible-region coefficients must be non-negative")
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "bounds", np.maximum(bounds, 0.0))
+
+    @property
+    def num_requests(self) -> int:
+        """Number of concurrent burst requests covered by the region."""
+        return self.matrix.shape[1]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells contributing constraints."""
+        return self.matrix.shape[0]
+
+    def admits(self, assignment: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Check whether an integer assignment lies inside the region."""
+        assignment = np.asarray(assignment, dtype=float)
+        if assignment.shape != (self.num_requests,):
+            raise ValueError("assignment has the wrong length")
+        usage = self.matrix @ assignment
+        return bool(
+            np.all(usage <= self.bounds + tolerance * np.maximum(1.0, self.bounds))
+        )
+
+    def resource_usage(self, assignment: np.ndarray) -> np.ndarray:
+        """Per-cell resource consumed by an assignment."""
+        return self.matrix @ np.asarray(assignment, dtype=float)
+
+
+def relative_path_loss(
+    forward_pilot_strength: np.ndarray, host_cell: int, neighbor_cell: int
+) -> float:
+    """Relative path loss ``delta P_{k,k'}`` between neighbour and host cell.
+
+    Eq. (14): the path loss towards a cell is inversely proportional to its
+    forward pilot strength (eq. (13)), hence the *relative* path loss of the
+    neighbour ``k'`` with respect to the host ``k`` is the ratio of the
+    forward pilot strengths ``t^{FL}_{j,k'} / t^{FL}_{j,k}``.
+
+    Parameters
+    ----------
+    forward_pilot_strength:
+        Forward pilot Ec/Io reported by the mobile, shape ``(num_cells,)``.
+    host_cell / neighbor_cell:
+        Cell indices ``k`` and ``k'``.
+    """
+    strengths = np.asarray(forward_pilot_strength, dtype=float)
+    host = float(strengths[host_cell])
+    neighbor = float(strengths[neighbor_cell])
+    if host <= 0.0:
+        raise ValueError("host-cell pilot strength must be positive")
+    return max(neighbor, 0.0) / host
+
+
+class ForwardLinkMeasurement:
+    """Builds the forward-link admissible region (eqs. (6)–(8))."""
+
+    def __init__(self, phy: PhyConfig, mac: MacConfig) -> None:
+        self.phy = phy
+        self.mac = mac
+
+    def build(
+        self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
+    ) -> AdmissibleRegion:
+        """Admissible region of the given forward-link requests."""
+        for request in requests:
+            if request.link is not LinkDirection.FORWARD:
+                raise ValueError("ForwardLinkMeasurement received a reverse request")
+        num_cells = snapshot.num_cells
+        num_requests = len(requests)
+        matrix = np.zeros((num_cells, num_requests), dtype=float)
+        fch_power = snapshot.forward_load.fch_power_w
+        gamma_s = self.phy.gamma_s_forward
+        alpha = self.mac.alpha_forward
+
+        for col, request in enumerate(requests):
+            j = request.mobile_index
+            reduced_set = snapshot.handoff_states[j].reduced_active_set
+            for k in reduced_set:
+                # Eq. (6): one unit of m costs gamma_s * P_{j,k} * alpha at
+                # every reduced-active-set cell.  When the FCH allocation of
+                # a leg is zero (e.g. the leg was just added), fall back to
+                # the serving-cell allocation so the cost is never free.
+                p_jk = float(fch_power[j, k])
+                if p_jk <= 0.0:
+                    p_jk = float(fch_power[j, snapshot.serving_cells[j]])
+                matrix[k, col] = gamma_s * p_jk * alpha
+
+        bounds = snapshot.forward_load.headroom_w() * self.mac.forward_admission_margin
+        return AdmissibleRegion(matrix=matrix, bounds=bounds, link=LinkDirection.FORWARD)
+
+
+class ReverseLinkMeasurement:
+    """Builds the reverse-link admissible region (eqs. (9)–(18))."""
+
+    def __init__(self, phy: PhyConfig, mac: MacConfig, scrm_max_pilots: int = 8) -> None:
+        if scrm_max_pilots < 1:
+            raise ValueError("scrm_max_pilots must be at least 1")
+        self.phy = phy
+        self.mac = mac
+        self.scrm_max_pilots = int(scrm_max_pilots)
+
+    def build(
+        self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
+    ) -> AdmissibleRegion:
+        """Admissible region of the given reverse-link requests."""
+        for request in requests:
+            if request.link is not LinkDirection.REVERSE:
+                raise ValueError("ReverseLinkMeasurement received a forward request")
+        num_cells = snapshot.num_cells
+        num_requests = len(requests)
+        matrix = np.zeros((num_cells, num_requests), dtype=float)
+
+        reverse_load = snapshot.reverse_load
+        l_k = reverse_load.current_interference_w
+        t_rl = reverse_load.reverse_pilot_strength
+        t_fl = reverse_load.forward_pilot_strength
+        xi = reverse_load.fch_pilot_power_ratio
+        gamma_s = self.phy.gamma_s_reverse
+        alpha = self.mac.alpha_reverse
+        kappa = self.mac.neighbor_margin
+
+        for col, request in enumerate(requests):
+            j = request.mobile_index
+            state = snapshot.handoff_states[j]
+            host = state.serving_cell
+            soft_handoff_cells = set(state.active_set)
+            # Eq. (10): FCH received power at the host cell reconstructed from
+            # the reverse pilot measurement and the FCH/pilot power ratio.
+            x_fch_host = l_k[host] * xi[j] * t_rl[j, host]
+
+            # Neighbour cells considered: those whose forward pilot the mobile
+            # reports in its SCRM message (the strongest `scrm_max_pilots`).
+            reported = np.argsort(t_fl[j])[::-1][: self.scrm_max_pilots]
+
+            for k in range(num_cells):
+                if k in soft_handoff_cells:
+                    # Eq. (12): same-cell / soft-hand-off measurement.
+                    matrix[k, col] = gamma_s * l_k[k] * xi[j] * t_rl[j, k] * alpha
+                elif k in reported:
+                    # Eq. (15): projected interference through the relative
+                    # path loss of eq. (14), with shadowing margin kappa.
+                    delta_p = relative_path_loss(t_fl[j], host, k)
+                    matrix[k, col] = gamma_s * x_fch_host * alpha * delta_p * kappa
+                # Cells that are neither in soft hand-off nor reported in the
+                # SCRM are not constrained (the base station has no estimate
+                # for them) — exactly as in the paper.
+
+        bounds = reverse_load.headroom_w() * self.mac.reverse_admission_margin
+        return AdmissibleRegion(matrix=matrix, bounds=bounds, link=LinkDirection.REVERSE)

@@ -1,0 +1,126 @@
+"""Burst requests and grants."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["LinkDirection", "BurstRequest", "BurstGrant"]
+
+_request_counter = itertools.count()
+
+
+class LinkDirection(enum.Enum):
+    """Direction of a burst (the two links are admitted independently)."""
+
+    FORWARD = "forward"
+    REVERSE = "reverse"
+
+
+@dataclass
+class BurstRequest:
+    """A pending high-speed data burst request.
+
+    One request corresponds to one packet call of a data user that still has
+    bits waiting to be transferred on one link.
+
+    Attributes
+    ----------
+    mobile_index:
+        Index ``j`` of the requesting data user.
+    link:
+        Forward or reverse link.
+    size_bits:
+        Original burst (packet-call) size ``Q_j`` in bits.
+    remaining_bits:
+        Bits still to be transferred (decreases as bursts are granted).
+    arrival_time_s:
+        Time the packet call arrived (start of the waiting time ``t_w``).
+    priority:
+        Traffic-type priority ``Delta_j`` of eqs. (19)/(20); 0 for best
+        effort, larger for higher priority.
+    request_id:
+        Unique identifier (assigned automatically).
+    """
+
+    mobile_index: int
+    link: LinkDirection
+    size_bits: float
+    remaining_bits: float = -1.0
+    arrival_time_s: float = 0.0
+    priority: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0.0:
+            raise ValueError("size_bits must be positive")
+        if self.remaining_bits < 0.0:
+            self.remaining_bits = float(self.size_bits)
+        if self.priority < 0.0:
+            raise ValueError("priority must be non-negative")
+
+    def waiting_time_s(self, now_s: float) -> float:
+        """Raw waiting time ``t_w`` of the request at time ``now_s``."""
+        return max(0.0, now_s - self.arrival_time_s)
+
+    @property
+    def completed(self) -> bool:
+        """True once all bits of the packet call have been served."""
+        return self.remaining_bits <= 1e-9
+
+    def account_served_bits(self, bits: float) -> None:
+        """Subtract ``bits`` transferred by a completed burst."""
+        if bits < 0.0:
+            raise ValueError("bits must be non-negative")
+        self.remaining_bits = max(0.0, self.remaining_bits - bits)
+
+
+@dataclass
+class BurstGrant:
+    """A granted burst: the outcome of one admission decision for one request.
+
+    Attributes
+    ----------
+    request:
+        The request this grant serves.
+    m:
+        Granted spreading-gain ratio (``m_j`` of the paper, >= 1).
+    rate_bps:
+        SCH bit rate of the burst (``m * delta_rho * Rf``).
+    start_s / duration_s:
+        Burst start time and duration.
+    bits_to_serve:
+        Bits that will be transferred if the burst runs to completion.
+    forward_power_w:
+        Forward-link SCH power committed per cell (cell index -> watts);
+        empty for reverse bursts.
+    reverse_power_w:
+        Reverse-link received-power (interference) committed per cell;
+        empty for forward bursts.
+    """
+
+    request: BurstRequest
+    m: int
+    rate_bps: float
+    start_s: float
+    duration_s: float
+    bits_to_serve: float
+    forward_power_w: Dict[int, float] = field(default_factory=dict)
+    reverse_power_w: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("a grant requires m >= 1 (m = 0 means rejection)")
+        if self.rate_bps <= 0.0:
+            raise ValueError("rate_bps must be positive")
+        if self.duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+        if self.bits_to_serve <= 0.0:
+            raise ValueError("bits_to_serve must be positive")
+
+    @property
+    def end_s(self) -> float:
+        """Absolute end time of the burst."""
+        return self.start_s + self.duration_s

@@ -1,0 +1,31 @@
+"""Scheduling sub-layer policies.
+
+* :class:`~repro.mac.schedulers.jaba_sd.JabaSdScheduler` — the paper's
+  contribution: jointly adaptive burst admission over the spatial dimension,
+  solving the integer program exactly (branch-and-bound) or with the greedy
+  heuristic, under objective J1 or J2.
+* :class:`~repro.mac.schedulers.fcfs.FcfsScheduler` — the cdma2000 baseline:
+  requests served one at a time in arrival order, each getting the largest
+  spreading-gain ratio that still fits ([1]).
+* :class:`~repro.mac.schedulers.equal_share.EqualShareScheduler` — empirical
+  equal sharing between concurrent requests ([8]).
+* :class:`~repro.mac.schedulers.round_robin.RoundRobinScheduler` — an extra
+  non-paper baseline useful for sanity checks (rotating FCFS start index).
+"""
+
+from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.mac.schedulers.jaba_sd import JabaSdScheduler
+from repro.mac.schedulers.fcfs import FcfsScheduler
+from repro.mac.schedulers.equal_share import EqualShareScheduler
+from repro.mac.schedulers.round_robin import RoundRobinScheduler
+from repro.mac.schedulers.temporal import TemporalExtensionScheduler
+
+__all__ = [
+    "BurstScheduler",
+    "SchedulingDecision",
+    "JabaSdScheduler",
+    "FcfsScheduler",
+    "EqualShareScheduler",
+    "RoundRobinScheduler",
+    "TemporalExtensionScheduler",
+]

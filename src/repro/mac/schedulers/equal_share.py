@@ -1,0 +1,90 @@
+"""Equal-sharing baseline (ref. [8] of the paper).
+
+"In [8], empirical scheduling such as equal sharing between multiple burst
+requests is considered": every pending request receives the *same*
+spreading-gain ratio, the largest common value that keeps the aggregate
+inside the admissible region (and below each request's own upper bound).
+Optionally, the slack left by requests whose upper bound is smaller than the
+common value is redistributed one unit at a time so the comparison against
+JABA-SD is not handicapped by integer round-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mac.objectives import ThroughputObjective
+from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+
+__all__ = ["EqualShareScheduler"]
+
+
+class EqualShareScheduler(BurstScheduler):
+    """Give every pending request the same (largest feasible) ratio ``m``.
+
+    Parameters
+    ----------
+    redistribute_slack:
+        After assigning the common value, greedily hand out remaining
+        capacity one unit at a time in arrival order (True by default so the
+        baseline is as strong as possible).
+    """
+
+    name = "EqualShare"
+
+    def __init__(self, redistribute_slack: bool = True) -> None:
+        self.redistribute_slack = bool(redistribute_slack)
+        self._metric = ThroughputObjective()
+
+    def _common_value_feasible(self, problem, common: int) -> bool:
+        assignment = np.minimum(problem.upper_bounds, common).astype(float)
+        return problem.region.admits(assignment)
+
+    def assign(self, problem) -> SchedulingDecision:
+        num_requests = len(problem.requests)
+        if num_requests == 0:
+            return SchedulingDecision(
+                assignment=np.zeros(0, dtype=int), objective_value=0.0, optimal=True
+            )
+        max_common = int(np.max(problem.upper_bounds)) if num_requests else 0
+        # Binary search for the largest feasible common value.
+        lo, hi = 0, max_common
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._common_value_feasible(problem, mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        common = lo
+        assignment = np.minimum(problem.upper_bounds, common).astype(int)
+
+        if self.redistribute_slack:
+            matrix = problem.region.matrix
+            remaining = problem.region.bounds - matrix @ assignment.astype(float)
+            order = np.argsort(
+                [r.arrival_time_s for r in problem.requests], kind="stable"
+            )
+            progress = True
+            while progress:
+                progress = False
+                for idx in order:
+                    idx = int(idx)
+                    if assignment[idx] >= problem.upper_bounds[idx]:
+                        continue
+                    column = matrix[:, idx]
+                    if np.all(column <= remaining + 1e-12):
+                        assignment[idx] += 1
+                        remaining -= column
+                        progress = True
+
+        weights = self._metric.weights(
+            problem.delta_rho,
+            problem.priorities,
+            problem.waiting_times_s,
+            problem.config,
+        )
+        return SchedulingDecision(
+            assignment=assignment,
+            objective_value=float(assignment @ weights),
+            optimal=False,
+        )

@@ -1,0 +1,65 @@
+"""Round-robin baseline (not in the paper; used as a sanity-check policy).
+
+The scheduler behaves like FCFS but rotates the starting request every
+invocation, so no user is systematically favoured by its arrival position.
+It is useful in tests (fairness sanity checks) and as an extra reference
+point in the scheduler-comparison example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mac.objectives import ThroughputObjective
+from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(BurstScheduler):
+    """FCFS with a rotating head-of-line position."""
+
+    name = "RoundRobin"
+
+    def __init__(self) -> None:
+        self._offset = 0
+        self._metric = ThroughputObjective()
+
+    def assign(self, problem) -> SchedulingDecision:
+        num_requests = len(problem.requests)
+        assignment = np.zeros(num_requests, dtype=int)
+        if num_requests == 0:
+            return SchedulingDecision(
+                assignment=assignment, objective_value=0.0, optimal=True
+            )
+        matrix = problem.region.matrix
+        remaining = problem.region.bounds.astype(float).copy()
+        start = self._offset % num_requests
+        self._offset += 1
+        order = [(start + i) % num_requests for i in range(num_requests)]
+
+        for idx in order:
+            upper = int(problem.upper_bounds[idx])
+            if upper < 1:
+                continue
+            column = matrix[:, idx]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(
+                    column > 0.0, remaining / np.where(column > 0.0, column, 1.0), np.inf
+                )
+            fit = int(min(upper, np.floor(np.min(ratios) + 1e-12))) if ratios.size else upper
+            if fit >= 1:
+                assignment[idx] = fit
+                remaining -= column * fit
+
+        weights = self._metric.weights(
+            problem.delta_rho,
+            problem.priorities,
+            problem.waiting_times_s,
+            problem.config,
+        )
+        return SchedulingDecision(
+            assignment=assignment,
+            objective_value=float(assignment @ weights),
+            optimal=False,
+        )

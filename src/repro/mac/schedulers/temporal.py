@@ -1,0 +1,107 @@
+"""Temporal-dimension extension of JABA-SD (the paper's future work).
+
+Section 3.2: "In general, the scheduling space includes both the spatial
+dimension (i.e. choosing between different requests m_j) as well as the
+temporal dimension (i.e. adjusting the starting time of burst requests with
+different burst duration).  However, for simplicity, we focus on the spatial
+dimension only."
+
+:class:`TemporalExtensionScheduler` implements a simple version of that
+extension on top of any spatial scheduler: requests whose *expected* spatial
+grant would be very small (below ``defer_threshold`` spreading-gain units)
+are *deferred* — withheld from the current frame — so that the resources they
+would have fragmented remain available for fewer, larger bursts, and the
+deferred requests start later but at a higher rate.  A request is never
+deferred for more than ``max_defer_frames`` consecutive frames, which bounds
+the extra waiting time.
+
+This scheduler is an *extension*, not part of the paper's evaluated system;
+it is exercised by the scheduler-comparison example and its own unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.mac.schedulers.jaba_sd import JabaSdScheduler
+
+__all__ = ["TemporalExtensionScheduler"]
+
+
+class TemporalExtensionScheduler(BurstScheduler):
+    """Defer-small-grants wrapper adding a temporal dimension to JABA-SD.
+
+    Parameters
+    ----------
+    base:
+        The spatial scheduler producing candidate assignments (defaults to
+        JABA-SD with objective J1 and the near-optimal solver).
+    defer_threshold:
+        Candidate grants strictly below this many spreading-gain units are
+        deferred to a later frame (0 disables deferral, reducing to the base
+        scheduler).
+    max_defer_frames:
+        Maximum number of consecutive frames a request may be deferred.
+    """
+
+    def __init__(
+        self,
+        base: Optional[BurstScheduler] = None,
+        defer_threshold: int = 4,
+        max_defer_frames: int = 10,
+    ) -> None:
+        if defer_threshold < 0:
+            raise ValueError("defer_threshold must be non-negative")
+        if max_defer_frames < 1:
+            raise ValueError("max_defer_frames must be at least 1")
+        self.base = base if base is not None else JabaSdScheduler("J1")
+        self.defer_threshold = int(defer_threshold)
+        self.max_defer_frames = int(max_defer_frames)
+        self._defer_counts: Dict[int, int] = {}
+        self.name = f"JABA-TD({self.base.name}, defer<{defer_threshold})"
+
+    def assign(self, problem) -> SchedulingDecision:
+        decision = self.base.assign(problem)
+        if self.defer_threshold == 0 or len(problem.requests) == 0:
+            return decision
+        assignment = decision.assignment.copy()
+        for column, request in enumerate(problem.requests):
+            m = int(assignment[column])
+            if m == 0:
+                continue
+            deferred_so_far = self._defer_counts.get(request.request_id, 0)
+            if m < self.defer_threshold and deferred_so_far < self.max_defer_frames:
+                # Defer: withhold the small grant, remember the deferral.
+                assignment[column] = 0
+                self._defer_counts[request.request_id] = deferred_so_far + 1
+            else:
+                self._defer_counts.pop(request.request_id, None)
+        # Re-invest the capacity freed by the deferrals into the remaining
+        # grants (never exceeding the per-request upper bounds or the region).
+        freed = problem.region.bounds - problem.region.matrix @ assignment
+        for column in np.argsort(-decision.assignment):
+            column = int(column)
+            if assignment[column] == 0:
+                continue
+            col_vector = problem.region.matrix[:, column]
+            room_bound = int(problem.upper_bounds[column] - assignment[column])
+            if room_bound <= 0:
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(
+                    col_vector > 0.0,
+                    freed / np.where(col_vector > 0.0, col_vector, 1.0),
+                    np.inf,
+                )
+            extra = int(min(room_bound, np.floor(np.min(ratios) + 1e-12)))
+            if extra > 0:
+                assignment[column] += extra
+                freed = freed - col_vector * extra
+        return SchedulingDecision(
+            assignment=assignment,
+            objective_value=decision.objective_value,
+            optimal=False,
+        )

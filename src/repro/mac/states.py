@@ -1,0 +1,103 @@
+"""cdma2000 MAC states of a packet-data user (Figure 3 / eq. (23)).
+
+A data user that has been idle for a while is moved from the *Active* state
+into progressively cheaper states (Control-Hold, Suspended, Dormant); waking
+up from a deeper state costs a re-synchronisation / re-connection delay.  The
+paper folds this into the overall request delay of eq. (22),
+
+``w_j = t_w + D_s``,
+
+where the MAC setup-delay penalty ``D_s`` is a step function of the waiting
+time (eq. (23)): zero below ``T2``, ``D1`` between ``T2`` and ``T3``, and
+``D2`` beyond ``T3``.
+
+Two views are provided:
+
+* :func:`setup_delay_penalty` — the literal eq. (23) step function used by
+  the delay-aware objective J2;
+* :class:`MacStateMachine` — an explicit per-user state machine driven by
+  activity/inactivity, used by the dynamic simulator to account setup delays
+  when a burst is finally granted and to report state-occupancy statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import MacConfig
+from repro.utils.validation import check_non_negative
+
+__all__ = ["MacState", "setup_delay_penalty", "MacStateMachine"]
+
+
+class MacState(enum.Enum):
+    """MAC states of a cdma2000 packet-data user."""
+
+    #: Dedicated traffic/control channel up; bursts can start immediately.
+    ACTIVE = "active"
+    #: Dedicated control channel kept, traffic channel released.
+    CONTROL_HOLD = "control_hold"
+    #: Dedicated channels released, state information retained.
+    SUSPENDED = "suspended"
+    #: Everything released; a full re-connection is needed.
+    DORMANT = "dormant"
+
+
+def setup_delay_penalty(waiting_time_s: float, config: MacConfig) -> float:
+    """MAC setup-delay penalty ``D_s`` as a function of the waiting time (eq. (23)).
+
+    ``D_s = 0`` for ``t_w < T2``, ``D1`` for ``T2 <= t_w < T3`` and ``D2``
+    for ``t_w >= T3``.
+    """
+    check_non_negative("waiting_time_s", waiting_time_s)
+    if waiting_time_s < config.t2_s:
+        return 0.0
+    if waiting_time_s < config.t3_s:
+        return config.d1_penalty_s
+    return config.d2_penalty_s
+
+
+@dataclass
+class MacStateMachine:
+    """Explicit MAC state machine of one packet-data user.
+
+    The user is promoted to *Active* whenever it transmits (a burst is
+    granted or its FCH carries data) and decays through Control-Hold,
+    Suspended and Dormant after ``t_active_to_control_hold_s``, ``T2`` and
+    ``T3`` seconds of inactivity respectively.
+    """
+
+    config: MacConfig
+    state: MacState = MacState.ACTIVE
+    idle_time_s: float = 0.0
+
+    def touch(self) -> None:
+        """Record activity: the user returns to (or stays in) the Active state."""
+        self.state = MacState.ACTIVE
+        self.idle_time_s = 0.0
+
+    def advance(self, dt_s: float, active: bool) -> MacState:
+        """Advance time; ``active`` indicates the user transmitted during ``dt_s``."""
+        check_non_negative("dt_s", dt_s)
+        if active:
+            self.touch()
+            return self.state
+        self.idle_time_s += dt_s
+        if self.idle_time_s >= self.config.t3_s:
+            self.state = MacState.DORMANT
+        elif self.idle_time_s >= self.config.t2_s:
+            self.state = MacState.SUSPENDED
+        elif self.idle_time_s >= self.config.t_active_to_control_hold_s:
+            self.state = MacState.CONTROL_HOLD
+        else:
+            self.state = MacState.ACTIVE
+        return self.state
+
+    def setup_penalty_s(self) -> float:
+        """Setup delay incurred if a burst starts in the current state."""
+        if self.state in (MacState.ACTIVE, MacState.CONTROL_HOLD):
+            return 0.0
+        if self.state is MacState.SUSPENDED:
+            return self.config.d1_penalty_s
+        return self.config.d2_penalty_s

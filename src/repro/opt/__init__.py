@@ -1,0 +1,36 @@
+"""Integer-programming machinery for the scheduling sub-layer.
+
+The paper formulates multiple-burst admission as an integer program: choose
+integer spreading-gain ratios ``m_j`` in ``[0, M]`` maximising a linear
+objective subject to the linear admissible-region constraints (7) and (17)
+and the per-request upper bound (24).  This package provides:
+
+* :class:`~repro.opt.problem.BoundedIntegerProgram` — the problem container.
+* :func:`~repro.opt.exhaustive.solve_exhaustive` — exact enumeration for
+  small instances (ground truth in tests).
+* :func:`~repro.opt.branch_and_bound.solve_branch_and_bound` — exact
+  branch-and-bound with LP-relaxation bounds (the default optimal solver of
+  JABA-SD).
+* :func:`~repro.opt.greedy.solve_greedy` — fast marginal-efficiency
+  heuristic (the "greedy" JABA-SD variant, used in the solver ablation).
+* :mod:`~repro.opt.lp` — LP relaxation solvers (SciPy HiGHS wrapper plus a
+  self-contained dense simplex fallback).
+"""
+
+from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
+from repro.opt.exhaustive import solve_exhaustive
+from repro.opt.lp import solve_lp_relaxation, LpSolution
+from repro.opt.branch_and_bound import solve_branch_and_bound
+from repro.opt.greedy import solve_greedy, round_lp_solution, solve_near_optimal
+
+__all__ = [
+    "BoundedIntegerProgram",
+    "IntegerSolution",
+    "solve_exhaustive",
+    "solve_lp_relaxation",
+    "LpSolution",
+    "solve_branch_and_bound",
+    "solve_greedy",
+    "round_lp_solution",
+    "solve_near_optimal",
+]

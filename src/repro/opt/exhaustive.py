@@ -1,0 +1,54 @@
+"""Exhaustive enumeration of small bounded integer programs.
+
+Used as ground truth in the solver tests and, at run time, for very small
+scheduling instances where enumeration is cheaper than branch-and-bound
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
+
+__all__ = ["solve_exhaustive"]
+
+#: Refuse to enumerate spaces larger than this (protects against accidents).
+MAX_ENUMERATION_POINTS = 2_000_000
+
+
+def solve_exhaustive(problem: BoundedIntegerProgram) -> IntegerSolution:
+    """Enumerate every feasible integer point and return the best one.
+
+    Raises
+    ------
+    ValueError
+        If the integer box contains more than :data:`MAX_ENUMERATION_POINTS`
+        points.
+    """
+    if problem.search_space_size() > MAX_ENUMERATION_POINTS:
+        raise ValueError(
+            "search space too large for exhaustive enumeration "
+            f"({problem.search_space_size():.3g} points)"
+        )
+    ranges = [range(int(u) + 1) for u in problem.upper_bounds]
+    best_values = np.zeros(problem.num_variables, dtype=int)
+    best_objective = problem.objective_value(best_values)
+    explored = 0
+    for candidate in itertools.product(*ranges):
+        explored += 1
+        values = np.asarray(candidate, dtype=float)
+        if not problem.is_feasible(values):
+            continue
+        objective = problem.objective_value(values)
+        if objective > best_objective + 1e-12:
+            best_objective = objective
+            best_values = np.asarray(candidate, dtype=int)
+    return IntegerSolution(
+        values=best_values,
+        objective=best_objective,
+        optimal=True,
+        nodes_explored=explored,
+    )

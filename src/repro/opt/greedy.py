@@ -1,0 +1,111 @@
+"""Greedy and rounding heuristics for the scheduling integer program.
+
+:func:`solve_greedy` implements the fast JABA-SD variant: requests are ranked
+by marginal efficiency (objective gain per unit of the most-loaded resource
+they consume) and each is raised to the largest feasible integer level in
+that order.  The result is always feasible and is used both as a stand-alone
+scheduler (the "greedy" entry of experiment F6) and as the incumbent that
+seeds the branch-and-bound solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
+
+__all__ = ["solve_greedy", "round_lp_solution", "solve_near_optimal"]
+
+
+def _efficiency(problem: BoundedIntegerProgram, index: int) -> float:
+    """Objective gain per unit of normalised resource consumption."""
+    gain = problem.objective[index]
+    if gain <= 0.0:
+        return -np.inf
+    column = problem.constraint_matrix[:, index]
+    bounds = np.maximum(problem.constraint_bounds, 1e-300)
+    # Normalised cost: the largest fraction of any single resource consumed
+    # by one unit of this variable.
+    cost = float(np.max(column / bounds)) if column.size else 0.0
+    if cost <= 0.0:
+        return np.inf
+    return gain / cost
+
+
+def solve_greedy(problem: BoundedIntegerProgram) -> IntegerSolution:
+    """Greedy marginal-efficiency heuristic (always feasible, not optimal)."""
+    n = problem.num_variables
+    values = np.zeros(n, dtype=float)
+    order = sorted(range(n), key=lambda j: -_efficiency(problem, j))
+    for j in order:
+        if problem.objective[j] <= 0.0:
+            continue
+        room = problem.max_increment(values, j)
+        if room > 0:
+            values[j] += room
+    return IntegerSolution(
+        values=values.astype(int),
+        objective=problem.objective_value(values),
+        optimal=False,
+        nodes_explored=0,
+    )
+
+
+def solve_near_optimal(problem: BoundedIntegerProgram) -> IntegerSolution:
+    """Best of the greedy heuristic and the rounded LP relaxation.
+
+    This is the solver the dynamic simulations use for JABA-SD: on the burst
+    scheduling instances it is empirically within a fraction of a percent of
+    the exact optimum (experiment F6 quantifies the gap) at a small, bounded
+    cost per frame — one LP plus two linear-time repair passes.
+    """
+    from repro.opt.lp import solve_lp_relaxation
+
+    greedy = solve_greedy(problem)
+    if problem.num_variables == 0:
+        return greedy
+    lp = solve_lp_relaxation(problem, use_scipy=False)
+    if lp.status != "optimal":  # pragma: no cover - box relaxation is always feasible
+        return greedy
+    rounded = round_lp_solution(problem, lp.values)
+    best = rounded if rounded.objective >= greedy.objective else greedy
+    return IntegerSolution(
+        values=best.values,
+        objective=best.objective,
+        optimal=False,
+        nodes_explored=0,
+    )
+
+
+def round_lp_solution(
+    problem: BoundedIntegerProgram, lp_values: np.ndarray
+) -> IntegerSolution:
+    """Round an LP-relaxation point down, then greedily repair upwards.
+
+    Flooring a feasible continuous point keeps it feasible (the constraint
+    matrix is non-negative); the repair pass then re-invests any slack
+    created by the rounding, visiting variables in decreasing fractional
+    part.
+    """
+    lp_values = np.asarray(lp_values, dtype=float).ravel()
+    if lp_values.shape != (problem.num_variables,):
+        raise ValueError("lp_values has the wrong length")
+    values = np.floor(np.clip(lp_values, 0.0, problem.upper_bounds) + 1e-9)
+    if not problem.is_feasible(values):  # degenerate numerical case
+        values = np.zeros_like(values)
+    fractions = lp_values - np.floor(lp_values)
+    order = np.argsort(-fractions)
+    for j in order:
+        if problem.objective[j] <= 0.0:
+            continue
+        room = problem.max_increment(values, int(j))
+        if room > 0:
+            values[int(j)] += room
+    return IntegerSolution(
+        values=values.astype(int),
+        objective=problem.objective_value(values),
+        optimal=False,
+        nodes_explored=0,
+    )

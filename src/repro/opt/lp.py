@@ -1,0 +1,152 @@
+"""LP relaxation of the bounded integer program.
+
+The branch-and-bound solver needs upper bounds from the continuous (LP)
+relaxation of sub-problems.  The default implementation wraps
+``scipy.optimize.linprog`` (HiGHS); a small, self-contained dense
+revised-simplex implementation is provided as a fallback so the package keeps
+working if SciPy's LP backend is unavailable, and as an independent
+cross-check in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.opt.problem import BoundedIntegerProgram
+
+__all__ = ["LpSolution", "solve_lp_relaxation", "simplex_lp"]
+
+
+@dataclass(frozen=True)
+class LpSolution:
+    """Solution of an LP relaxation.
+
+    Attributes
+    ----------
+    values:
+        Optimal (continuous) variable values.
+    objective:
+        Optimal objective value.
+    status:
+        ``"optimal"`` or ``"infeasible"`` (the relaxations solved here are
+        always bounded because the variables live in a box).
+    """
+
+    values: np.ndarray
+    objective: float
+    status: str
+
+
+def solve_lp_relaxation(
+    problem: BoundedIntegerProgram,
+    lower_bounds: Optional[np.ndarray] = None,
+    upper_bounds: Optional[np.ndarray] = None,
+    use_scipy: bool = True,
+) -> LpSolution:
+    """Solve the continuous relaxation of ``problem``.
+
+    ``lower_bounds`` / ``upper_bounds`` override the box (used by
+    branch-and-bound to impose branching decisions).
+    """
+    lo = (
+        np.zeros(problem.num_variables)
+        if lower_bounds is None
+        else np.asarray(lower_bounds, dtype=float)
+    )
+    hi = (
+        problem.upper_bounds.astype(float)
+        if upper_bounds is None
+        else np.asarray(upper_bounds, dtype=float)
+    )
+    if np.any(lo > hi + 1e-12):
+        return LpSolution(values=lo, objective=-np.inf, status="infeasible")
+
+    if use_scipy:
+        try:
+            from scipy.optimize import linprog
+
+            result = linprog(
+                c=-problem.objective,
+                A_ub=problem.constraint_matrix,
+                b_ub=problem.constraint_bounds,
+                bounds=list(zip(lo, hi)),
+                method="highs",
+            )
+            if result.status == 2:  # infeasible
+                return LpSolution(values=lo, objective=-np.inf, status="infeasible")
+            if result.success:
+                return LpSolution(
+                    values=np.asarray(result.x, dtype=float),
+                    objective=float(-result.fun),
+                    status="optimal",
+                )
+        except Exception:  # pragma: no cover - fall back to the simplex below
+            pass
+    return simplex_lp(problem, lo, hi)
+
+
+def simplex_lp(
+    problem: BoundedIntegerProgram, lower_bounds: np.ndarray, upper_bounds: np.ndarray
+) -> LpSolution:
+    """Dense Dantzig-rule simplex on the slack-form relaxation.
+
+    The variable box is handled by shifting to ``x' = x - lo`` and adding the
+    explicit upper-bound rows ``x' <= hi - lo``; the resulting standard-form
+    problem ``max c'x', A'x' <= b', x' >= 0`` always has the origin as a basic
+    feasible starting point when ``b' >= 0``, which holds whenever the fixed
+    lower bounds are themselves feasible.  If they are not, the sub-problem is
+    reported infeasible (which is exactly what branch-and-bound needs).
+    """
+    lo = np.asarray(lower_bounds, dtype=float)
+    hi = np.asarray(upper_bounds, dtype=float)
+    c = problem.objective
+    a = problem.constraint_matrix
+    b = problem.constraint_bounds - a @ lo
+    if np.any(b < -1e-9):
+        return LpSolution(values=lo, objective=-np.inf, status="infeasible")
+    b = np.maximum(b, 0.0)
+    box = hi - lo
+
+    n = problem.num_variables
+    # Constraint rows: resource constraints plus upper-bound rows.
+    a_full = np.vstack([a, np.eye(n)])
+    b_full = np.concatenate([b, box])
+    m = a_full.shape[0]
+
+    # Simplex tableau with slack variables (standard form, origin feasible).
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a_full
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b_full
+    tableau[-1, :n] = -c  # maximise c'x  <=>  minimise -c'x
+    basis = list(range(n, n + m))
+
+    max_iterations = 200 * (n + m)
+    for _ in range(max_iterations):
+        reduced = tableau[-1, :-1]
+        pivot_col = int(np.argmin(reduced))
+        if reduced[pivot_col] >= -1e-10:
+            break  # optimal
+        column = tableau[:m, pivot_col]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(column > 1e-12, tableau[:m, -1] / column, np.inf)
+        pivot_row = int(np.argmin(ratios))
+        if not np.isfinite(ratios[pivot_row]):
+            break  # unbounded cannot happen with the explicit box; be safe
+        pivot = tableau[pivot_row, pivot_col]
+        tableau[pivot_row, :] /= pivot
+        for row in range(m + 1):
+            if row != pivot_row and abs(tableau[row, pivot_col]) > 1e-14:
+                tableau[row, :] -= tableau[row, pivot_col] * tableau[pivot_row, :]
+        basis[pivot_row] = pivot_col
+
+    x_shifted = np.zeros(n + m)
+    for row, var in enumerate(basis):
+        x_shifted[var] = tableau[row, -1]
+    values = lo + x_shifted[:n]
+    return LpSolution(
+        values=values, objective=float(problem.objective @ values), status="optimal"
+    )

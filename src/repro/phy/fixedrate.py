@@ -1,0 +1,138 @@
+"""Fixed-throughput (non-adaptive) physical layer baseline.
+
+"Traditional physical layer delivers a constant throughput in that the amount
+of error protection incorporated into a packet is fixed without regard to the
+time varying channel condition." (Section 1 of the paper.)
+
+The baseline transmits a single fixed mode at all times.  Under fast fading
+the error rate is no longer constant; we account for this in the *effective*
+(goodput) throughput by discarding symbols whose instantaneous CSI falls
+below the mode's constant-BER threshold (they would fail the target error
+level and the corresponding frames would be lost / retransmitted).  This is
+the conventional outage-based comparison used by the adaptive-modulation
+literature the paper cites ([3]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import constants
+from repro.phy.ber import ber_adaptive_mode, required_csi_adaptive_mode
+from repro.phy.modes import ModeTable, TransmissionMode
+from repro.utils.validation import check_non_negative
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["FixedRatePhy"]
+
+
+class FixedRatePhy:
+    """Non-adaptive physical layer transmitting a single fixed mode.
+
+    Parameters
+    ----------
+    mode:
+        The fixed transmission mode.
+    target_ber:
+        Error-rate target used to define the outage threshold.
+    coding_gain_db:
+        Coding gain of the error-protection code, in dB.
+    """
+
+    def __init__(
+        self,
+        mode: TransmissionMode,
+        target_ber: float = constants.TARGET_BER,
+        coding_gain_db: float = 0.0,
+    ) -> None:
+        self.mode = mode
+        if not 0.0 < target_ber < 0.2:
+            raise ValueError("target_ber must lie in (0, 0.2)")
+        self.target_ber = float(target_ber)
+        self.coding_gain_db = float(coding_gain_db)
+        self._threshold = required_csi_adaptive_mode(
+            self.target_ber, mode.bits_per_symbol, self.coding_gain_db
+        )
+
+    @property
+    def threshold(self) -> float:
+        """Outage threshold: minimum CSI at which the target BER is met."""
+        return self._threshold
+
+    @property
+    def nominal_throughput(self) -> float:
+        """Throughput when the channel is good enough (bits per symbol)."""
+        return self.mode.throughput
+
+    def instantaneous_throughput(self, csi: ArrayLike) -> ArrayLike:
+        """Effective throughput at instantaneous CSI ``csi``.
+
+        Equals the nominal throughput when the CSI meets the outage threshold
+        and 0 otherwise (frame lost).
+        """
+        gam = np.asarray(csi, dtype=float)
+        if np.any(gam < 0.0):
+            raise ValueError("csi must be non-negative")
+        out = np.where(gam >= self._threshold, self.mode.throughput, 0.0)
+        if np.ndim(csi) == 0:
+            return float(out)
+        return out
+
+    def ber(self, csi: float) -> float:
+        """Raw (pre-outage) BER of the fixed mode at CSI ``csi``."""
+        check_non_negative("csi", csi)
+        return float(
+            ber_adaptive_mode(csi, self.mode.bits_per_symbol, self.coding_gain_db)
+        )
+
+    def average_throughput(self, mean_csi: ArrayLike) -> ArrayLike:
+        """Average effective throughput under Rayleigh fading at ``mean_csi``."""
+        mean = np.atleast_1d(np.asarray(mean_csi, dtype=float))
+        if np.any(mean < 0.0):
+            raise ValueError("mean_csi must be non-negative")
+        out = np.zeros_like(mean)
+        positive = mean > 0.0
+        out[positive] = self.mode.throughput * np.exp(
+            -self._threshold / mean[positive]
+        )
+        if np.ndim(mean_csi) == 0:
+            return float(out[0])
+        return out
+
+    def outage_probability(self, mean_csi: float) -> float:
+        """Probability that the fixed mode misses the target BER."""
+        check_non_negative("mean_csi", mean_csi)
+        if mean_csi == 0.0:
+            return 1.0
+        return float(1.0 - np.exp(-self._threshold / mean_csi))
+
+    @classmethod
+    def design_for_mean_csi(
+        cls,
+        mean_csi: float,
+        mode_table: Optional[ModeTable] = None,
+        target_ber: float = constants.TARGET_BER,
+        coding_gain_db: float = 0.0,
+    ) -> "FixedRatePhy":
+        """Pick the fixed mode with the best *average* throughput at ``mean_csi``.
+
+        This is the strongest possible fixed-rate competitor: for each
+        candidate mode the expected goodput under Rayleigh fading is computed
+        and the best mode is selected.  Experiment F1 uses this design rule so
+        the adaptive gain is not exaggerated by a strawman baseline.
+        """
+        check_non_negative("mean_csi", mean_csi)
+        table = mode_table if mode_table is not None else ModeTable.default()
+        best: Optional[FixedRatePhy] = None
+        best_throughput = -1.0
+        for mode in table:
+            candidate = cls(mode, target_ber=target_ber, coding_gain_db=coding_gain_db)
+            throughput = candidate.average_throughput(mean_csi)
+            if throughput > best_throughput:
+                best = candidate
+                best_throughput = float(throughput)
+        assert best is not None
+        return best

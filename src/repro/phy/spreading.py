@@ -1,0 +1,135 @@
+"""Spreading-stage relations between FCH and SCH (eqs. (2), (4), (5)).
+
+In cdma2000 high-speed data transmission is supported by a *supplemental
+channel* (SCH) whose spreading gain is reduced by an integer factor ``m``
+relative to the *fundamental channel* (FCH).  Together with the higher
+average throughput ``delta_rho`` of the adaptive VTAOC coding, the relative
+SCH bit rate is (eq. (4))
+
+``Rs / Rf = delta_rho * m``
+
+and the required SCH transmit power relative to the FCH is (eq. (5))
+
+``Xs / Xf = m * gamma_s``
+
+where ``gamma_s`` is the relative symbol energy-to-interference ratio needed
+by the SCH, a constant depending only on the FCH/SCH error targets and the
+FCH throughput (it does not depend on the local-mean CSI or the SCH rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = [
+    "processing_gain",
+    "sch_relative_bit_rate",
+    "sch_bit_rate",
+    "sch_power_ratio",
+    "relative_symbol_energy_ratio",
+    "SpreadingConfig",
+]
+
+
+def processing_gain(bandwidth_hz: float, bit_rate_bps: float) -> float:
+    """Overall processing gain ``beta = W / Rb`` (eq. (2))."""
+    check_positive("bandwidth_hz", bandwidth_hz)
+    check_positive("bit_rate_bps", bit_rate_bps)
+    return bandwidth_hz / bit_rate_bps
+
+
+def sch_relative_bit_rate(m: int, delta_rho: float) -> float:
+    """Relative SCH bit rate ``Rs/Rf = delta_rho * m`` (eq. (4)).
+
+    ``m`` is the ratio of the FCH spreading gain to the SCH spreading gain;
+    ``m = 0`` means the burst request is rejected (rate 0).
+    """
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    check_non_negative("delta_rho", delta_rho)
+    return float(m) * delta_rho
+
+
+def sch_bit_rate(m: int, delta_rho: float, fch_bit_rate_bps: float) -> float:
+    """Absolute SCH bit rate in bit/s."""
+    check_positive("fch_bit_rate_bps", fch_bit_rate_bps)
+    return sch_relative_bit_rate(m, delta_rho) * fch_bit_rate_bps
+
+
+def sch_power_ratio(m: int, gamma_s: float) -> float:
+    """Required SCH-to-FCH transmit power ratio ``Xs/Xf = m * gamma_s`` (eq. (5))."""
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    check_non_negative("gamma_s", gamma_s)
+    return float(m) * gamma_s
+
+
+def relative_symbol_energy_ratio(
+    sch_es_io_target: float, fch_es_io_target: float
+) -> float:
+    """The constant ``gamma_s``: SCH over FCH required symbol energy ratio.
+
+    The paper notes gamma_s "is a fixed parameter which is dependent only on
+    the target error levels of the FCH and SCH as well as the FCH throughput";
+    we expose it as the ratio of the two (linear) symbol-level targets.
+    """
+    check_positive("sch_es_io_target", sch_es_io_target)
+    check_positive("fch_es_io_target", fch_es_io_target)
+    return sch_es_io_target / fch_es_io_target
+
+
+@dataclass(frozen=True)
+class SpreadingConfig:
+    """Numerology of the spreading stage shared by FCH and SCH.
+
+    Attributes
+    ----------
+    bandwidth_hz:
+        System bandwidth ``W``.
+    chip_rate_hz:
+        PN chip rate.
+    fch_bit_rate_bps:
+        Fixed FCH information bit rate ``Rf``.
+    fch_throughput:
+        Fixed FCH throughput ``rho_f`` (information bits per modulation
+        symbol of the FCH's fixed-rate code).
+    max_spreading_gain_ratio:
+        Maximum value of ``m`` (``M`` in the paper).
+    gamma_s:
+        Relative SCH/FCH symbol energy-to-interference requirement.
+    """
+
+    bandwidth_hz: float = constants.SYSTEM_BANDWIDTH_HZ
+    chip_rate_hz: float = constants.CHIP_RATE_HZ
+    fch_bit_rate_bps: float = constants.FCH_BIT_RATE_BPS
+    fch_throughput: float = 1.0
+    max_spreading_gain_ratio: int = constants.MAX_SPREADING_GAIN_RATIO
+    gamma_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_hz", self.bandwidth_hz)
+        check_positive("chip_rate_hz", self.chip_rate_hz)
+        check_positive("fch_bit_rate_bps", self.fch_bit_rate_bps)
+        check_positive("fch_throughput", self.fch_throughput)
+        check_positive_int("max_spreading_gain_ratio", self.max_spreading_gain_ratio)
+        check_positive("gamma_s", self.gamma_s)
+
+    @property
+    def fch_processing_gain(self) -> float:
+        """Overall FCH processing gain ``W / Rf``."""
+        return processing_gain(self.bandwidth_hz, self.fch_bit_rate_bps)
+
+    def sch_bit_rate(self, m: int, delta_rho: float) -> float:
+        """SCH bit rate for spreading-gain ratio ``m`` and relative throughput."""
+        return sch_bit_rate(m, delta_rho, self.fch_bit_rate_bps)
+
+    def sch_power_ratio(self, m: int) -> float:
+        """SCH/FCH power ratio for spreading-gain ratio ``m`` (eq. (5))."""
+        return sch_power_ratio(m, self.gamma_s)
+
+    def max_sch_bit_rate(self, delta_rho: float) -> float:
+        """Highest SCH bit rate reachable with the configured ``M``."""
+        return self.sch_bit_rate(self.max_spreading_gain_ratio, delta_rho)

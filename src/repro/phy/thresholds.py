@@ -1,0 +1,54 @@
+"""Constant-BER adaptation thresholds for the VTAOC scheme.
+
+"In this paper, it is assumed that the VTAOC scheme is operated in the
+constant BER mode.  That is, the adaptation thresholds are set optimally to
+maintain a target transmission error level over a range of CSI values."
+(Section 2.2 of the paper.)
+
+Mode ``q`` is used when the CSI lies in ``[zeta_q, zeta_{q+1})``; below
+``zeta_1`` no transmission takes place (mode 0).  With a BER that is
+monotonically decreasing in CSI, the *optimal* constant-BER threshold of mode
+``q`` is simply the smallest CSI at which the mode still meets the target
+BER — which is what :func:`threshold_for_mode` computes by inverting the BER
+model of :mod:`repro.phy.ber`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.phy.ber import required_csi_adaptive_mode
+from repro.phy.modes import ModeTable
+
+__all__ = ["threshold_for_mode", "constant_ber_thresholds"]
+
+
+def threshold_for_mode(
+    bits_per_symbol: float, target_ber: float, coding_gain_db: float = 0.0
+) -> float:
+    """Adaptation threshold (linear CSI) of a mode with ``bits_per_symbol``.
+
+    The threshold is the smallest CSI for which the mode's BER does not
+    exceed ``target_ber``.
+    """
+    return required_csi_adaptive_mode(target_ber, bits_per_symbol, coding_gain_db)
+
+
+def constant_ber_thresholds(
+    table: ModeTable, target_ber: float, coding_gain_db: float = 0.0
+) -> np.ndarray:
+    """Thresholds ``[zeta_1, ..., zeta_Q]`` for every mode in ``table``.
+
+    The returned array is strictly increasing (guaranteed by the strictly
+    increasing ``bits_per_symbol`` of a valid :class:`ModeTable`).
+    """
+    thresholds: List[float] = [
+        threshold_for_mode(mode.bits_per_symbol, target_ber, coding_gain_db)
+        for mode in table
+    ]
+    arr = np.asarray(thresholds, dtype=float)
+    if np.any(np.diff(arr) <= 0.0):  # pragma: no cover - defensive
+        raise RuntimeError("thresholds are not strictly increasing")
+    return arr

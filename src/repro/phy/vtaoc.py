@@ -1,0 +1,238 @@
+"""The VTAOC adaptive codec (Section 2.2 of the paper).
+
+The codec maps the fed-back CSI to a transmission mode and hence to an
+instantaneous throughput, and — crucially for the burst admission layer —
+provides the *average* throughput as a function of the local-mean CSI.  The
+paper uses exactly this split: "the fast fading component (Xl) is handled by
+the VTAOC system while the offered SCH bit rate (short-term average), Rs, is
+varying in accordance with the local mean CSI (Es)".
+
+Eq. (3) of the paper defines the instantaneous CSI as the product of the fast
+fading power gain and the short-term average symbol energy-to-interference
+ratio; :func:`instantaneous_csi` implements it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro import constants
+from repro.phy.ber import ber_adaptive_mode
+from repro.phy.modes import ModeTable
+from repro.phy.thresholds import constant_ber_thresholds
+from repro.utils.validation import check_non_negative, check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["instantaneous_csi", "VtaocCodec"]
+
+
+def instantaneous_csi(fading_power_gain: ArrayLike, mean_csi: ArrayLike) -> ArrayLike:
+    """Instantaneous symbol energy-to-interference ratio (eq. (3)).
+
+    ``gamma = Xl * E`` where ``Xl`` is the fast-fading power gain (unit mean)
+    and ``E`` the short-term average symbol energy-to-interference ratio.
+    """
+    fade = np.asarray(fading_power_gain, dtype=float)
+    mean = np.asarray(mean_csi, dtype=float)
+    if np.any(fade < 0.0) or np.any(mean < 0.0):
+        raise ValueError("fading gain and mean CSI must be non-negative")
+    out = fade * mean
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+class VtaocCodec:
+    """Variable-throughput adaptive orthogonal coding/modulation codec.
+
+    Parameters
+    ----------
+    mode_table:
+        The available transmission modes; defaults to the 6-mode table.
+    target_ber:
+        Target bit error rate of the constant-BER adaptation.
+    coding_gain_db:
+        Additional coding gain of the orthogonal coding stage, in dB; shifts
+        all thresholds down by the same factor.
+
+    Notes
+    -----
+    *Mode 0* denotes "no transmission" (outage): it is selected when the CSI
+    lies below the threshold of the most-protected mode.
+    """
+
+    def __init__(
+        self,
+        mode_table: Optional[ModeTable] = None,
+        target_ber: float = constants.TARGET_BER,
+        coding_gain_db: float = 0.0,
+    ) -> None:
+        self.mode_table = mode_table if mode_table is not None else ModeTable.default()
+        if not 0.0 < target_ber < 0.2:
+            raise ValueError("target_ber must lie in (0, 0.2)")
+        self.target_ber = float(target_ber)
+        self.coding_gain_db = float(coding_gain_db)
+        self._thresholds = constant_ber_thresholds(
+            self.mode_table, self.target_ber, self.coding_gain_db
+        )
+        self._throughputs = np.asarray(self.mode_table.throughputs(), dtype=float)
+
+    # -- basic properties -----------------------------------------------------
+    @property
+    def num_modes(self) -> int:
+        """Number of transmission modes (excluding the outage mode)."""
+        return len(self.mode_table)
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        """Adaptation thresholds ``[zeta_1, ..., zeta_Q]`` (linear CSI)."""
+        return self._thresholds.copy()
+
+    @property
+    def max_throughput(self) -> float:
+        """Throughput of the highest mode (bits per symbol)."""
+        return float(self._throughputs[-1])
+
+    # -- per-symbol operation ---------------------------------------------------
+    def select_mode(self, csi: float) -> int:
+        """Return the mode index used at CSI ``csi`` (0 = no transmission)."""
+        check_non_negative("csi", csi)
+        idx = int(np.searchsorted(self._thresholds, csi, side="right"))
+        return idx
+
+    def instantaneous_throughput(self, csi: ArrayLike) -> ArrayLike:
+        """Throughput (bits/symbol) offered at instantaneous CSI ``csi``."""
+        gam = np.asarray(csi, dtype=float)
+        if np.any(gam < 0.0):
+            raise ValueError("csi must be non-negative")
+        idx = np.searchsorted(self._thresholds, gam, side="right")
+        padded = np.concatenate(([0.0], self._throughputs))
+        out = padded[idx]
+        if np.ndim(csi) == 0:
+            return float(out)
+        return out
+
+    def ber(self, csi: float) -> float:
+        """BER experienced at instantaneous CSI ``csi`` with the selected mode.
+
+        Returns 0 for the outage mode (nothing is transmitted, nothing can be
+        in error); by the constant-BER construction the returned value never
+        exceeds the target BER for csi >= zeta_1.
+        """
+        mode_idx = self.select_mode(csi)
+        if mode_idx == 0:
+            return 0.0
+        mode = self.mode_table[mode_idx]
+        return float(
+            ber_adaptive_mode(csi, mode.bits_per_symbol, self.coding_gain_db)
+        )
+
+    # -- averages over fast fading ------------------------------------------------
+    def mode_probabilities(self, mean_csi: float) -> np.ndarray:
+        """Probability of using each mode (index 0..Q) under Rayleigh fading.
+
+        The instantaneous CSI is exponentially distributed with mean
+        ``mean_csi`` (unit-mean Rayleigh power fading times the local-mean
+        CSI); mode ``q`` is used when the CSI falls in
+        ``[zeta_q, zeta_{q+1})``.
+        """
+        check_non_negative("mean_csi", mean_csi)
+        probs = np.zeros(self.num_modes + 1, dtype=float)
+        if mean_csi == 0.0:
+            probs[0] = 1.0
+            return probs
+        # Survival function of the exponential at each threshold.
+        survival = np.exp(-self._thresholds / mean_csi)
+        upper = np.concatenate((survival, [0.0]))  # survival at zeta_{Q+1} = inf
+        probs[0] = 1.0 - survival[0]
+        probs[1:] = upper[:-1] - upper[1:]
+        return probs
+
+    def average_throughput(self, mean_csi: ArrayLike) -> ArrayLike:
+        """Average throughput (bits/symbol) at local-mean CSI ``mean_csi``.
+
+        Closed-form expectation under unit-mean exponential (Rayleigh power)
+        fading.  This is the quantity that drives the SCH offered bit rate in
+        eq. (4) of the paper.
+        """
+        mean = np.atleast_1d(np.asarray(mean_csi, dtype=float))
+        if np.any(mean < 0.0):
+            raise ValueError("mean_csi must be non-negative")
+        out = np.zeros_like(mean)
+        positive = mean > 0.0
+        if np.any(positive):
+            # survival[i, q] = P(gamma >= zeta_q) for mean_csi[i]
+            survival = np.exp(
+                -self._thresholds[np.newaxis, :] / mean[positive, np.newaxis]
+            )
+            upper = np.concatenate(
+                (survival, np.zeros((survival.shape[0], 1))), axis=1
+            )
+            probs = upper[:, :-1] - upper[:, 1:]
+            out[positive] = probs @ self._throughputs
+        if np.ndim(mean_csi) == 0:
+            return float(out[0])
+        return out
+
+    def average_throughput_mc(
+        self,
+        mean_csi: float,
+        rng: np.random.Generator,
+        num_samples: int = 100_000,
+    ) -> float:
+        """Monte-Carlo estimate of :meth:`average_throughput` (validation aid)."""
+        check_non_negative("mean_csi", mean_csi)
+        check_positive("num_samples", num_samples)
+        if mean_csi == 0.0:
+            return 0.0
+        csi = rng.exponential(scale=mean_csi, size=int(num_samples))
+        return float(np.mean(self.instantaneous_throughput(csi)))
+
+    def relative_average_throughput(
+        self, mean_csi: ArrayLike, fch_throughput: float
+    ) -> ArrayLike:
+        """``delta_rho`` of eq. (4): SCH average throughput over FCH throughput."""
+        check_positive("fch_throughput", fch_throughput)
+        avg = self.average_throughput(mean_csi)
+        return avg / fch_throughput
+
+    def outage_probability(self, mean_csi: float) -> float:
+        """Probability of selecting the outage mode at local-mean CSI ``mean_csi``."""
+        return float(self.mode_probabilities(mean_csi)[0])
+
+    def mean_csi_for_throughput(self, throughput: float, tol: float = 1e-9) -> float:
+        """Invert :meth:`average_throughput`: smallest mean CSI achieving ``throughput``.
+
+        Uses bisection; raises :class:`ValueError` when the requested
+        throughput exceeds the maximum mode throughput (unreachable).
+        """
+        check_positive("throughput", throughput)
+        if throughput >= self.max_throughput:
+            raise ValueError(
+                f"requested throughput {throughput} is not achievable "
+                f"(maximum mode throughput is {self.max_throughput})"
+            )
+        lo, hi = 1e-9, 1.0
+        while self.average_throughput(hi) < throughput:
+            hi *= 2.0
+            if hi > 1e12:  # pragma: no cover - defensive
+                raise RuntimeError("bisection upper bound exploded")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.average_throughput(mid) < throughput:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol * max(1.0, hi):
+                break
+        return hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"VtaocCodec(num_modes={self.num_modes}, target_ber={self.target_ber}, "
+            f"coding_gain_db={self.coding_gain_db})"
+        )

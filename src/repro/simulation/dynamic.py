@@ -1,0 +1,356 @@
+"""The dynamic system simulation (abstract + Section 1 of the paper).
+
+"...the system is evaluated by dynamic simulations which takes into account
+of the user mobility, power control, and soft hand-off."
+
+:class:`DynamicSystemSimulator` runs a frame-by-frame multi-cell simulation:
+
+* voice users toggle their FCH activity with the on/off model;
+* data users generate packet calls (bursts) according to the WWW traffic
+  model; every packet call becomes a burst request on the forward or the
+  reverse link;
+* every scheduling frame the burst admission controller (measurement +
+  scheduling sub-layers) decides which pending requests get a supplemental
+  channel and at which spreading-gain ratio; the committed SCH powers are
+  held in the network for the burst duration and therefore shape the power
+  control and interference of the following frames;
+* users move, shadowing and fast fading evolve, soft hand-off active sets are
+  updated, FCH power control runs every frame.
+
+The per-packet-call delay (arrival until the last bit is served), carried
+throughput, loading and outage statistics are gathered by
+:class:`repro.simulation.metrics.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cdma.entities import MobileStation, UserClass
+from repro.cdma.network import CdmaNetwork, NetworkSnapshot
+from repro.geometry.hexgrid import HexagonalCellLayout
+from repro.geometry.mobility import RandomDirectionMobility
+from repro.mac.admission import BurstAdmissionController
+from repro.mac.requests import BurstGrant, BurstRequest, LinkDirection
+from repro.mac.schedulers.base import BurstScheduler
+from repro.mac.states import MacState, MacStateMachine
+from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.scenario import ScenarioConfig
+from repro.traffic.data import PacketCallDataSource, TruncatedParetoSize
+from repro.traffic.voice import OnOffVoiceSource
+from repro.utils.rng import RngFactory
+
+__all__ = ["DynamicSystemSimulator"]
+
+
+@dataclass
+class _ActiveBurst:
+    """A granted burst currently on air."""
+
+    grant: BurstGrant
+    end_s: float
+
+
+class DynamicSystemSimulator:
+    """Frame-by-frame dynamic simulation of the complete system.
+
+    Parameters
+    ----------
+    scenario:
+        Scenario configuration (population, traffic, mobility, duration).
+    scheduler:
+        Scheduling policy under test.
+    """
+
+    def __init__(self, scenario: ScenarioConfig, scheduler: BurstScheduler) -> None:
+        self.scenario = scenario
+        self.scheduler = scheduler
+        self._rng_factory = RngFactory(scenario.seed)
+        system = scenario.system
+        radio = system.radio
+
+        self.layout = HexagonalCellLayout(
+            num_rings=radio.num_rings,
+            cell_radius_m=radio.cell_radius_m,
+            wraparound=radio.wraparound,
+        )
+        bounds = self.layout.bounding_box()
+        placement_rng = self._rng_factory.child("placement")
+        mobility_rng = self._rng_factory.child("mobility")
+
+        # -- population --------------------------------------------------------
+        self.mobiles: List[MobileStation] = []
+        self.data_user_indices: List[int] = []
+        self.voice_user_indices: List[int] = []
+        index = 0
+        for cell in range(self.layout.num_cells):
+            for _ in range(scenario.num_data_users_per_cell):
+                position = self.layout.random_position_in_cell(cell, placement_rng)
+                self.mobiles.append(
+                    MobileStation(
+                        index=index,
+                        user_class=UserClass.DATA,
+                        mobility=RandomDirectionMobility(
+                            position,
+                            bounds,
+                            speed_m_s=scenario.mobility.speed_range_m_s,
+                            mean_epoch_s=scenario.mobility.mean_epoch_s,
+                            rng=mobility_rng,
+                        ),
+                        fch_pilot_power_ratio=radio.fch_pilot_power_ratio,
+                    )
+                )
+                self.data_user_indices.append(index)
+                index += 1
+            for _ in range(scenario.num_voice_users_per_cell):
+                position = self.layout.random_position_in_cell(cell, placement_rng)
+                self.mobiles.append(
+                    MobileStation(
+                        index=index,
+                        user_class=UserClass.VOICE,
+                        mobility=RandomDirectionMobility(
+                            position,
+                            bounds,
+                            speed_m_s=scenario.mobility.speed_range_m_s,
+                            mean_epoch_s=scenario.mobility.mean_epoch_s,
+                            rng=mobility_rng,
+                        ),
+                        fch_pilot_power_ratio=radio.fch_pilot_power_ratio,
+                    )
+                )
+                self.voice_user_indices.append(index)
+                index += 1
+
+        self.network = CdmaNetwork(
+            config=system,
+            mobiles=self.mobiles,
+            rng=self._rng_factory.child("propagation"),
+            layout=self.layout,
+        )
+        self.controller = BurstAdmissionController(system, scheduler)
+
+        # -- traffic ----------------------------------------------------------------
+        traffic_rng = self._rng_factory.child("traffic")
+        size_distribution = TruncatedParetoSize(
+            shape=scenario.traffic.packet_call_shape,
+            minimum_bits=scenario.traffic.packet_call_min_bits,
+            maximum_bits=scenario.traffic.packet_call_max_bits,
+        )
+        self.data_sources: Dict[int, PacketCallDataSource] = {
+            j: PacketCallDataSource(
+                mean_reading_time_s=scenario.traffic.mean_reading_time_s,
+                size_distribution=size_distribution,
+                rng=np.random.default_rng(traffic_rng.integers(0, 2**63 - 1)),
+            )
+            for j in self.data_user_indices
+        }
+        self.voice_sources: Dict[int, OnOffVoiceSource] = {
+            j: OnOffVoiceSource(
+                rng=np.random.default_rng(traffic_rng.integers(0, 2**63 - 1))
+            )
+            for j in self.voice_user_indices
+        }
+        self._direction_rng = self._rng_factory.child("burst-direction")
+
+        # -- MAC / bookkeeping ------------------------------------------------------------
+        self.mac_states: Dict[int, MacStateMachine] = {
+            j: MacStateMachine(config=system.mac) for j in self.data_user_indices
+        }
+        self.pending: Dict[LinkDirection, List[BurstRequest]] = {
+            LinkDirection.FORWARD: [],
+            LinkDirection.REVERSE: [],
+        }
+        self.active_bursts: List[_ActiveBurst] = []
+        self._request_meta: Dict[int, Tuple[float, float]] = {}
+        self.metrics = MetricsCollector(warmup_s=scenario.warmup_s)
+
+    # -- traffic handling -----------------------------------------------------------------
+    def _pull_arrivals(self, now_s: float) -> None:
+        traffic = self.scenario.traffic
+        for j in self.data_user_indices:
+            for call in self.data_sources[j].pull_arrivals(now_s):
+                link = (
+                    LinkDirection.FORWARD
+                    if self._direction_rng.random() < traffic.forward_fraction
+                    else LinkDirection.REVERSE
+                )
+                request = BurstRequest(
+                    mobile_index=j,
+                    link=link,
+                    size_bits=call.size_bits,
+                    arrival_time_s=call.arrival_time_s,
+                    priority=traffic.data_priority,
+                )
+                self.pending[link].append(request)
+                self._request_meta[request.request_id] = (
+                    call.arrival_time_s,
+                    call.size_bits,
+                )
+                self.metrics.record_packet_call_arrival(
+                    call.arrival_time_s, call.size_bits
+                )
+
+    def _update_voice_activity(self, dt_s: float) -> None:
+        for j in self.voice_user_indices:
+            self.mobiles[j].fch_active = self.voice_sources[j].advance(dt_s)
+
+    def _update_data_activity(self) -> None:
+        """Data users hold a dedicated channel sized to their current traffic.
+
+        Between packet calls (the reading time) a cdma2000 data user drops to
+        the Control-Hold/Dormant MAC states and does not load the network at
+        all; while it merely *waits* for a burst grant it keeps a low-rate
+        dedicated control channel (``control_channel_rate_fraction`` of a
+        full-rate FCH); while a burst is on air the full-rate FCH runs
+        alongside the SCH.  This keeps the background load physical (well
+        below the reverse-link pole capacity) while preserving the pilot and
+        FCH measurements the burst admission needs.
+        """
+        control_rate = self.scenario.system.radio.control_channel_rate_fraction
+        bursting = {b.grant.request.mobile_index for b in self.active_bursts}
+        waiting = set()
+        for requests in self.pending.values():
+            waiting.update(r.mobile_index for r in requests)
+        for j in self.data_user_indices:
+            mobile = self.mobiles[j]
+            if j in bursting:
+                mobile.fch_active = True
+                mobile.fch_rate_factor = 1.0
+            elif j in waiting:
+                # A waiting user keeps its dedicated control channel only
+                # while its MAC state still holds one (Active / Control-Hold);
+                # users that timed out into Suspended/Dormant stop loading
+                # the network and will pay the setup-delay penalty of
+                # eq. (23) when their burst is eventually granted.
+                state = self.mac_states[j].state
+                holds_dcch = state in (MacState.ACTIVE, MacState.CONTROL_HOLD)
+                mobile.fch_active = holds_dcch
+                mobile.fch_rate_factor = control_rate if holds_dcch else 1.0
+            else:
+                mobile.fch_active = False
+                mobile.fch_rate_factor = 1.0
+
+    # -- burst lifecycle ------------------------------------------------------------------------
+    def _complete_bursts(self, now_s: float) -> None:
+        still_active: List[_ActiveBurst] = []
+        for burst in self.active_bursts:
+            if burst.end_s > now_s + 1e-9:
+                still_active.append(burst)
+                continue
+            grant = burst.grant
+            request = grant.request
+            for cell, power in grant.forward_power_w.items():
+                self.network.release_forward_burst_power(cell, power)
+            for cell, power in grant.reverse_power_w.items():
+                self.network.release_reverse_burst_power(cell, power)
+            request.account_served_bits(grant.bits_to_serve)
+            if request.completed:
+                arrival, size = self._request_meta.pop(
+                    request.request_id, (request.arrival_time_s, request.size_bits)
+                )
+                self.metrics.record_packet_call_completion(
+                    arrival, burst.end_s, size, request.link
+                )
+            else:
+                # Remaining bits go back to the pending queue; the waiting
+                # time keeps accumulating from the original arrival.
+                self.pending[request.link].append(request)
+        self.active_bursts = still_active
+
+    def _serving_mobiles(self) -> set:
+        return {b.grant.request.mobile_index for b in self.active_bursts}
+
+    def _run_admission(self, snapshot: NetworkSnapshot, now_s: float) -> None:
+        for link in (LinkDirection.FORWARD, LinkDirection.REVERSE):
+            pending = self.pending[link]
+            if not pending:
+                continue
+            decision, grants = self.controller.decide(snapshot, pending, link)
+            granted_ids = set()
+            for grant in grants:
+                request = grant.request
+                granted_ids.add(request.request_id)
+                # MAC setup penalty: waking a Suspended/Dormant user delays the
+                # effective completion of its burst (eq. (23)).
+                penalty = self.mac_states[request.mobile_index].setup_penalty_s()
+                end_s = grant.end_s + penalty
+                for cell, power in grant.forward_power_w.items():
+                    self.network.commit_forward_burst_power(cell, power)
+                for cell, power in grant.reverse_power_w.items():
+                    self.network.commit_reverse_burst_power(cell, power)
+                self.active_bursts.append(_ActiveBurst(grant=grant, end_s=end_s))
+                self.mac_states[request.mobile_index].touch()
+            self.pending[link] = [
+                r for r in pending if r.request_id not in granted_ids
+            ]
+            self.metrics.record_admission(
+                now_s,
+                num_pending=len(pending),
+                num_granted=len(grants),
+                granted_ms=decision.assignment,
+            )
+
+    def _update_mac_states(self, dt_s: float) -> None:
+        serving = self._serving_mobiles()
+        for j, machine in self.mac_states.items():
+            machine.advance(dt_s, active=j in serving)
+
+    # -- main loop ----------------------------------------------------------------------------------
+    def run(self, progress: Optional[int] = None) -> SimulationResult:
+        """Run the simulation and return the summary result.
+
+        Parameters
+        ----------
+        progress:
+            When given, a progress line is printed every ``progress`` frames
+            (useful for the long experiment runs).
+        """
+        scenario = self.scenario
+        frame_s = scenario.system.mac.frame_duration_s
+        total_time = scenario.warmup_s + scenario.duration_s
+        num_frames = int(math.ceil(total_time / frame_s))
+
+        for frame_index in range(num_frames):
+            now = self.network.time_s
+            self._update_voice_activity(frame_s)
+            self._pull_arrivals(now)
+            self._complete_bursts(now)
+            self._update_data_activity()
+            snapshot = self.network.snapshot()
+            self._run_admission(snapshot, now)
+            pending_count = sum(len(v) for v in self.pending.values())
+            self.metrics.record_frame(
+                now,
+                pending_requests=pending_count,
+                forward_utilisation=float(
+                    np.mean(snapshot.forward_load.utilisation())
+                ),
+                reverse_rise_db=float(
+                    np.mean(
+                        snapshot.reverse_load.rise_over_thermal_db(
+                            np.asarray(
+                                [bs.noise_power_w for bs in self.network.base_stations]
+                            )
+                        )
+                    )
+                ),
+                fch_outage_fraction=snapshot.fch_outage_fraction(),
+            )
+            self._update_mac_states(frame_s)
+            self.network.advance(frame_s)
+            if progress and (frame_index + 1) % progress == 0:  # pragma: no cover
+                print(
+                    f"  t={self.network.time_s:7.2f}s  pending={pending_count:4d} "
+                    f"active_bursts={len(self.active_bursts):4d}"
+                )
+
+        return self.metrics.summarise(
+            scheduler=self.scheduler.name,
+            num_data_users=len(self.data_user_indices),
+            num_voice_users=len(self.voice_user_indices),
+            handoff_events=self.network.handoff.handoff_events,
+        )

@@ -1,0 +1,213 @@
+"""Metric collection for the system-level simulations.
+
+The paper's evaluation reports *average packet delay*, *data user capacity*
+and *coverage*; :class:`MetricsCollector` gathers everything needed to derive
+those figures from a dynamic run:
+
+* per-packet-call delay (arrival of the packet call until its last bit is
+  served), separately per link;
+* carried throughput, granted bursts, mean granted spreading-gain ratio;
+* request blocking (pending requests that received nothing in a frame);
+* cell loading (forward power utilisation, reverse rise over thermal);
+* FCH outage (links that failed to reach their SIR target — the coverage
+  ingredient).
+
+Everything is streaming (constant memory) so long runs stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mac.requests import LinkDirection
+from repro.utils.stats import Histogram, RunningStats
+
+__all__ = ["MetricsCollector", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one dynamic-simulation run.
+
+    The attributes mirror the rows printed by the experiment harness; all
+    delays are in seconds and rates in bits per second.
+    """
+
+    scheduler: str
+    num_data_users: int
+    num_voice_users: int
+    duration_s: float
+    mean_packet_delay_s: float
+    p90_packet_delay_s: float
+    mean_forward_delay_s: float
+    mean_reverse_delay_s: float
+    completed_packet_calls: int
+    carried_throughput_bps: float
+    offered_load_bps: float
+    mean_granted_m: float
+    grant_rate: float
+    mean_queue_length: float
+    forward_utilisation: float
+    reverse_rise_db: float
+    fch_outage_fraction: float
+    handoff_events: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat dict used by the table formatter."""
+        record: Dict[str, object] = {
+            "scheduler": self.scheduler,
+            "data_users": self.num_data_users,
+            "mean_delay_s": self.mean_packet_delay_s,
+            "p90_delay_s": self.p90_packet_delay_s,
+            "throughput_kbps": self.carried_throughput_bps / 1e3,
+            "grant_rate": self.grant_rate,
+            "mean_m": self.mean_granted_m,
+            "fwd_util": self.forward_utilisation,
+            "rev_rise_db": self.reverse_rise_db,
+            "outage": self.fch_outage_fraction,
+        }
+        record.update(self.extra)
+        return record
+
+
+class MetricsCollector:
+    """Streaming metric accumulator driven by the dynamic simulator."""
+
+    def __init__(self, warmup_s: float = 0.0, delay_histogram_upper_s: float = 60.0) -> None:
+        if warmup_s < 0.0:
+            raise ValueError("warmup_s must be non-negative")
+        self.warmup_s = float(warmup_s)
+        self.delay_all = RunningStats()
+        self.delay_histogram = Histogram(upper=delay_histogram_upper_s, bins=600)
+        self.delay_per_link = {
+            LinkDirection.FORWARD: RunningStats(),
+            LinkDirection.REVERSE: RunningStats(),
+        }
+        self.granted_m = RunningStats()
+        self.queue_length = RunningStats()
+        self.forward_utilisation = RunningStats()
+        self.reverse_rise_db = RunningStats()
+        self.fch_outage = RunningStats()
+        self.served_bits = 0.0
+        self.offered_bits = 0.0
+        self.completed_calls = 0
+        self.grant_decisions = 0
+        self.granted_requests = 0
+        self.pending_request_frames = 0
+        self._measure_start: Optional[float] = None
+        self._measure_end: Optional[float] = None
+
+    # -- helpers -------------------------------------------------------------------
+    def _in_measurement(self, time_s: float) -> bool:
+        return time_s >= self.warmup_s
+
+    def _note_time(self, time_s: float) -> None:
+        if not self._in_measurement(time_s):
+            return
+        if self._measure_start is None:
+            self._measure_start = time_s
+        self._measure_end = time_s
+
+    @property
+    def measured_duration_s(self) -> float:
+        """Length of the measurement window seen so far."""
+        if self._measure_start is None or self._measure_end is None:
+            return 0.0
+        return max(self._measure_end - self._measure_start, 0.0)
+
+    # -- recording hooks (called by the simulator) -------------------------------------
+    def record_packet_call_arrival(self, time_s: float, size_bits: float) -> None:
+        """A packet call of ``size_bits`` arrived at ``time_s``."""
+        self._note_time(time_s)
+        if self._in_measurement(time_s):
+            self.offered_bits += size_bits
+
+    def record_packet_call_completion(
+        self, arrival_s: float, completion_s: float, size_bits: float, link: LinkDirection
+    ) -> None:
+        """A packet call that arrived at ``arrival_s`` finished at ``completion_s``."""
+        self._note_time(completion_s)
+        if not self._in_measurement(arrival_s):
+            return
+        delay = max(0.0, completion_s - arrival_s)
+        self.delay_all.add(delay)
+        self.delay_histogram.add(min(delay, 59.999))
+        self.delay_per_link[link].add(delay)
+        self.served_bits += size_bits
+        self.completed_calls += 1
+
+    def record_frame(
+        self,
+        time_s: float,
+        pending_requests: int,
+        forward_utilisation: float,
+        reverse_rise_db: float,
+        fch_outage_fraction: float,
+    ) -> None:
+        """Per-frame system state."""
+        self._note_time(time_s)
+        if not self._in_measurement(time_s):
+            return
+        self.queue_length.add(pending_requests)
+        self.forward_utilisation.add(forward_utilisation)
+        self.reverse_rise_db.add(reverse_rise_db)
+        self.fch_outage.add(fch_outage_fraction)
+
+    def record_admission(
+        self, time_s: float, num_pending: int, num_granted: int, granted_ms: np.ndarray
+    ) -> None:
+        """Outcome of one admission decision."""
+        self._note_time(time_s)
+        if not self._in_measurement(time_s):
+            return
+        self.grant_decisions += 1
+        self.pending_request_frames += num_pending
+        self.granted_requests += num_granted
+        for m in np.asarray(granted_ms).ravel():
+            if m >= 1:
+                self.granted_m.add(float(m))
+
+    # -- summary ---------------------------------------------------------------------------
+    def summarise(
+        self,
+        scheduler: str,
+        num_data_users: int,
+        num_voice_users: int,
+        handoff_events: int = 0,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> SimulationResult:
+        """Build the :class:`SimulationResult` of the finished run."""
+        duration = self.measured_duration_s
+        throughput = self.served_bits / duration if duration > 0 else 0.0
+        offered = self.offered_bits / duration if duration > 0 else 0.0
+        grant_rate = (
+            self.granted_requests / self.pending_request_frames
+            if self.pending_request_frames > 0
+            else math.nan
+        )
+        return SimulationResult(
+            scheduler=scheduler,
+            num_data_users=num_data_users,
+            num_voice_users=num_voice_users,
+            duration_s=duration,
+            mean_packet_delay_s=self.delay_all.mean,
+            p90_packet_delay_s=self.delay_histogram.percentile(90.0),
+            mean_forward_delay_s=self.delay_per_link[LinkDirection.FORWARD].mean,
+            mean_reverse_delay_s=self.delay_per_link[LinkDirection.REVERSE].mean,
+            completed_packet_calls=self.completed_calls,
+            carried_throughput_bps=throughput,
+            offered_load_bps=offered,
+            mean_granted_m=self.granted_m.mean,
+            grant_rate=grant_rate,
+            mean_queue_length=self.queue_length.mean,
+            forward_utilisation=self.forward_utilisation.mean,
+            reverse_rise_db=self.reverse_rise_db.mean,
+            fch_outage_fraction=self.fch_outage.mean,
+            handoff_events=handoff_events,
+            extra=dict(extra or {}),
+        )

@@ -1,0 +1,98 @@
+"""Multi-seed runs and parameter sweeps over the dynamic simulator."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mac.schedulers.base import BurstScheduler
+from repro.simulation.dynamic import DynamicSystemSimulator
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["run_scenario", "average_results", "sweep_parameter"]
+
+SchedulerFactory = Callable[[], BurstScheduler]
+
+
+def run_scenario(
+    scenario: ScenarioConfig,
+    scheduler_factory: SchedulerFactory,
+    num_seeds: int = 1,
+) -> List[SimulationResult]:
+    """Run ``scenario`` with ``num_seeds`` independent seeds.
+
+    A fresh scheduler is created per run (schedulers may carry state, e.g.
+    the round-robin pointer).
+    """
+    if num_seeds < 1:
+        raise ValueError("num_seeds must be at least 1")
+    results = []
+    for offset in range(num_seeds):
+        run_config = scenario.with_seed(scenario.seed + offset)
+        simulator = DynamicSystemSimulator(run_config, scheduler_factory())
+        results.append(simulator.run())
+    return results
+
+
+def average_results(results: Sequence[SimulationResult]) -> SimulationResult:
+    """Average the numeric fields of several same-configuration runs."""
+    if not results:
+        raise ValueError("results must not be empty")
+    first = results[0]
+
+    def mean_of(attr: str) -> float:
+        values = [getattr(r, attr) for r in results]
+        finite = [v for v in values if v is not None and not math.isnan(v)]
+        return float(np.mean(finite)) if finite else math.nan
+
+    extra_keys = set()
+    for r in results:
+        extra_keys.update(r.extra.keys())
+    extra = {
+        key: float(np.mean([r.extra.get(key, math.nan) for r in results]))
+        for key in sorted(extra_keys)
+    }
+    return SimulationResult(
+        scheduler=first.scheduler,
+        num_data_users=first.num_data_users,
+        num_voice_users=first.num_voice_users,
+        duration_s=mean_of("duration_s"),
+        mean_packet_delay_s=mean_of("mean_packet_delay_s"),
+        p90_packet_delay_s=mean_of("p90_packet_delay_s"),
+        mean_forward_delay_s=mean_of("mean_forward_delay_s"),
+        mean_reverse_delay_s=mean_of("mean_reverse_delay_s"),
+        completed_packet_calls=int(round(mean_of("completed_packet_calls"))),
+        carried_throughput_bps=mean_of("carried_throughput_bps"),
+        offered_load_bps=mean_of("offered_load_bps"),
+        mean_granted_m=mean_of("mean_granted_m"),
+        grant_rate=mean_of("grant_rate"),
+        mean_queue_length=mean_of("mean_queue_length"),
+        forward_utilisation=mean_of("forward_utilisation"),
+        reverse_rise_db=mean_of("reverse_rise_db"),
+        fch_outage_fraction=mean_of("fch_outage_fraction"),
+        handoff_events=int(round(mean_of("handoff_events"))),
+        extra=extra,
+    )
+
+
+def sweep_parameter(
+    base_scenario: ScenarioConfig,
+    scheduler_factories: Dict[str, SchedulerFactory],
+    loads: Iterable[int],
+    num_seeds: int = 1,
+) -> Dict[str, List[SimulationResult]]:
+    """Sweep the data-user population for every scheduler.
+
+    Returns a mapping ``scheduler label -> list of averaged results`` with
+    one entry per value in ``loads``.
+    """
+    sweep: Dict[str, List[SimulationResult]] = {label: [] for label in scheduler_factories}
+    for load in loads:
+        scenario = base_scenario.with_load(int(load))
+        for label, factory in scheduler_factories.items():
+            runs = run_scenario(scenario, factory, num_seeds=num_seeds)
+            sweep[label].append(average_results(runs))
+    return sweep

@@ -1,0 +1,22 @@
+"""Traffic models for the dynamic simulation.
+
+* :mod:`~repro.traffic.voice` — on/off voice sources; the large population of
+  voice users forms the statistically multiplexed background load the paper
+  discusses in the introduction.
+* :mod:`~repro.traffic.data` — bursty packet-data (WWW-style packet-call)
+  sources whose bursts are what the admission control schedules.
+* :mod:`~repro.traffic.arrivals` — generic arrival-process helpers.
+"""
+
+from repro.traffic.voice import OnOffVoiceSource
+from repro.traffic.data import PacketCallDataSource, TruncatedParetoSize, PacketCall
+from repro.traffic.arrivals import PoissonArrivals, exponential_interarrival
+
+__all__ = [
+    "OnOffVoiceSource",
+    "PacketCallDataSource",
+    "TruncatedParetoSize",
+    "PacketCall",
+    "PoissonArrivals",
+    "exponential_interarrival",
+]

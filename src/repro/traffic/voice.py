@@ -1,0 +1,84 @@
+"""On/off voice traffic sources.
+
+Voice users alternate between exponentially distributed talk spurts and
+silence periods; during a talk spurt the FCH carries traffic (contributing
+interference / consuming forward power), during silence it does not.  The
+long-run fraction of time spent talking is the *voice activity factor* the
+paper mentions ("CDMA simply translates voice activity factor ... into
+capacity gains").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import constants
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["OnOffVoiceSource"]
+
+
+class OnOffVoiceSource:
+    """Two-state (talk / silence) Markov voice source.
+
+    Parameters
+    ----------
+    mean_talk_s / mean_silence_s:
+        Mean durations of the exponentially distributed talk and silence
+        periods.
+    rng:
+        Random generator.
+    start_active:
+        Initial state; when ``None`` the state is drawn from the stationary
+        distribution.
+    """
+
+    def __init__(
+        self,
+        mean_talk_s: float = constants.VOICE_TALK_SPURT_MEAN_S,
+        mean_silence_s: float = constants.VOICE_SILENCE_MEAN_S,
+        rng: Optional[np.random.Generator] = None,
+        start_active: Optional[bool] = None,
+    ) -> None:
+        self.mean_talk_s = check_positive("mean_talk_s", mean_talk_s)
+        self.mean_silence_s = check_positive("mean_silence_s", mean_silence_s)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if start_active is None:
+            start_active = bool(self._rng.random() < self.activity_factor)
+        self._active = bool(start_active)
+        self._time_in_state = 0.0
+        self._state_duration = self._draw_duration()
+
+    def _draw_duration(self) -> float:
+        mean = self.mean_talk_s if self._active else self.mean_silence_s
+        return float(self._rng.exponential(mean))
+
+    @property
+    def activity_factor(self) -> float:
+        """Long-run probability of being in the talk state."""
+        return self.mean_talk_s / (self.mean_talk_s + self.mean_silence_s)
+
+    @property
+    def is_active(self) -> bool:
+        """True while the source is in a talk spurt."""
+        return self._active
+
+    def advance(self, dt_s: float) -> bool:
+        """Advance the source by ``dt_s`` seconds; return the final state.
+
+        Multiple state transitions within ``dt_s`` are handled exactly.
+        """
+        check_non_negative("dt_s", dt_s)
+        remaining = dt_s
+        while remaining > 0.0:
+            left_in_state = self._state_duration - self._time_in_state
+            if remaining < left_in_state:
+                self._time_in_state += remaining
+                break
+            remaining -= left_in_state
+            self._active = not self._active
+            self._time_in_state = 0.0
+            self._state_duration = self._draw_duration()
+        return self._active

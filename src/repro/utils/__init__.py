@@ -1,0 +1,32 @@
+"""Shared utilities: unit conversions, random-number handling, statistics."""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watt,
+    watt_to_dbm,
+    ratio_db,
+)
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.stats import (
+    RunningStats,
+    TimeWeightedStats,
+    Histogram,
+    confidence_interval,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "ratio_db",
+    "RngFactory",
+    "spawn_rng",
+    "RunningStats",
+    "TimeWeightedStats",
+    "Histogram",
+    "confidence_interval",
+    "format_table",
+]

@@ -1,0 +1,318 @@
+"""Streaming statistics utilities used by the metrics collectors.
+
+Dynamic simulations produce millions of samples (per-frame delays, loads,
+SIRs); storing them all would be wasteful, so the collectors in
+:mod:`repro.simulation.metrics` are built on the streaming accumulators in
+this module:
+
+* :class:`RunningStats` — Welford-style running mean/variance/min/max.
+* :class:`TimeWeightedStats` — time-weighted mean for piecewise-constant
+  signals (e.g. cell loading, queue length).
+* :class:`Histogram` — fixed-bin histogram with percentile queries, used for
+  delay tail statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class RunningStats:
+    """Numerically stable streaming mean / variance / extremes (Welford).
+
+    Examples
+    --------
+    >>> rs = RunningStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     rs.add(x)
+    >>> rs.mean
+    2.0
+    >>> round(rs.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Accumulate one sample."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Accumulate an iterable of samples."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        merged = RunningStats()
+        if self._count == 0:
+            merged.__setstate__(other.__getstate__())
+            return merged
+        if other._count == 0:
+            merged.__setstate__(self.__getstate__())
+            return merged
+        count = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = count
+        merged._total = self._total + other._total
+        merged._mean = self._mean + delta * other._count / count
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._count * other._count / count
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def __getstate__(self):
+        return (self._count, self._mean, self._m2, self._min, self._max, self._total)
+
+    def __setstate__(self, state):
+        (self._count, self._mean, self._m2, self._min, self._max, self._total) = state
+
+    @property
+    def count(self) -> int:
+        """Number of samples seen."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` when empty)."""
+        return self._mean if self._count > 0 else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``nan`` with fewer than two samples)."""
+        if self._count < 2:
+            return math.nan
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def min(self) -> float:
+        """Minimum sample (``nan`` when empty)."""
+        return self._min if self._count > 0 else math.nan
+
+    @property
+    def max(self) -> float:
+        """Maximum sample (``nan`` when empty)."""
+        return self._max if self._count > 0 else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RunningStats(count={self._count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class TimeWeightedStats:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Record transitions with :meth:`record`; the value is assumed to hold from
+    the recorded time until the next call.  :meth:`finalize` (or passing
+    ``until`` to :attr:`mean`) closes the last segment.
+
+    Examples
+    --------
+    >>> tw = TimeWeightedStats()
+    >>> tw.record(0.0, 1.0)
+    >>> tw.record(1.0, 3.0)
+    >>> tw.mean(until=2.0)
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._last_time: Optional[float] = None
+        self._last_value: float = 0.0
+        self._weighted_sum = 0.0
+        self._elapsed = 0.0
+        self._max = -math.inf
+
+    def record(self, time: float, value: float) -> None:
+        """Record that the signal takes ``value`` from ``time`` onwards."""
+        time = float(time)
+        if self._last_time is not None:
+            if time < self._last_time:
+                raise ValueError("time must be non-decreasing")
+            dt = time - self._last_time
+            self._weighted_sum += dt * self._last_value
+            self._elapsed += dt
+        self._last_time = time
+        self._last_value = float(value)
+        if value > self._max:
+            self._max = float(value)
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean up to ``until`` (defaults to last recorded time)."""
+        weighted = self._weighted_sum
+        elapsed = self._elapsed
+        if until is not None and self._last_time is not None:
+            if until < self._last_time:
+                raise ValueError("until must not precede the last recorded time")
+            dt = until - self._last_time
+            weighted += dt * self._last_value
+            elapsed += dt
+        if elapsed <= 0.0:
+            return math.nan
+        return weighted / elapsed
+
+    @property
+    def max(self) -> float:
+        """Maximum recorded value (``nan`` when empty)."""
+        return self._max if self._last_time is not None else math.nan
+
+    @property
+    def current(self) -> float:
+        """Most recently recorded value."""
+        return self._last_value
+
+
+class Histogram:
+    """Fixed-bin histogram supporting approximate percentile queries.
+
+    Parameters
+    ----------
+    upper:
+        Upper edge of the histogram range; samples above it land in the
+        overflow bin and are counted exactly (their values are also tracked
+        by a running maximum).
+    bins:
+        Number of equal-width bins between 0 and ``upper``.
+    """
+
+    def __init__(self, upper: float, bins: int = 200) -> None:
+        if upper <= 0.0:
+            raise ValueError("upper must be positive")
+        if bins < 1:
+            raise ValueError("bins must be at least 1")
+        self._upper = float(upper)
+        self._bins = int(bins)
+        self._counts = np.zeros(bins + 1, dtype=np.int64)  # last bin = overflow
+        self._width = self._upper / self._bins
+        self._stats = RunningStats()
+
+    def add(self, value: float) -> None:
+        """Insert one non-negative sample."""
+        value = float(value)
+        if value < 0.0:
+            raise ValueError("Histogram only accepts non-negative samples")
+        idx = int(value / self._width)
+        if idx >= self._bins:
+            idx = self._bins
+        self._counts[idx] += 1
+        self._stats.add(value)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Insert many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Total number of samples."""
+        return int(self._counts.sum())
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the inserted samples."""
+        return self._stats.mean
+
+    @property
+    def max(self) -> float:
+        """Exact maximum of the inserted samples."""
+        return self._stats.max
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0 <= q <= 100).
+
+        The estimate is the upper edge of the bin in which the requested
+        rank falls, hence it is conservative (never under-estimates).
+        Returns ``nan`` when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        total = self.count
+        if total == 0:
+            return math.nan
+        target = math.ceil(q / 100.0 * total)
+        target = max(target, 1)
+        cumulative = np.cumsum(self._counts)
+        idx = int(np.searchsorted(cumulative, target))
+        if idx >= self._bins:
+            return self._stats.max
+        return (idx + 1) * self._width
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(bin_edges, counts)`` including the overflow bin."""
+        edges = np.linspace(0.0, self._upper, self._bins + 1)
+        return edges, self._counts.copy()
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Return ``(mean, half_width)`` of a normal-approximation CI.
+
+    Uses the Student-t quantile from :mod:`scipy.stats` when more than one
+    sample is available; degenerates to ``(mean, 0)`` for a single sample and
+    ``(nan, nan)`` for none.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return math.nan, math.nan
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    from scipy import stats as scipy_stats
+
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    tval = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    return mean, tval * sem
+
+
+@dataclass
+class SummaryStatistics:
+    """Immutable summary snapshot extracted from a :class:`RunningStats`."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_running(cls, rs: RunningStats) -> "SummaryStatistics":
+        """Build a summary from a running accumulator."""
+        return cls(count=rs.count, mean=rs.mean, std=rs.std, min=rs.min, max=rs.max)

@@ -1,0 +1,88 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harness prints paper-style result tables to stdout; this module
+keeps that formatting in one place so every experiment renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+    title:
+        Optional title printed above the table.
+    float_fmt:
+        Format specification applied to float cells.
+
+    Returns
+    -------
+    str
+        The formatted table, ready to print.
+    """
+    materialised = [[_format_cell(c, float_fmt) for c in row] for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render a list of dict records as a table.
+
+    ``columns`` selects and orders the keys; by default the keys of the first
+    record are used.
+    """
+    if not records:
+        return title or "(no records)"
+    cols = list(columns) if columns is not None else list(records[0].keys())
+    rows = [[record.get(col) for col in cols] for record in records]
+    return format_table(cols, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,11 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER = (
+    "Y.-K. Kwok and V. K. N. Lau, 'On Channel-Adaptive Multiple Burst "
+    "Admission Control for Mobile Computing Based on Wideband CDMA', "
+    "Proc. International Conference on Parallel Processing Workshops, "
+    "2001, pp. 435-440."
+)

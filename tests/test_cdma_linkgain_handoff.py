@@ -1,0 +1,169 @@
+"""Tests for the link-gain map and the soft hand-off controller."""
+
+import numpy as np
+import pytest
+
+from repro.cdma.handoff import SoftHandoffController
+from repro.cdma.linkgain import LinkGainMap
+from repro.geometry.hexgrid import HexagonalCellLayout
+
+
+@pytest.fixture
+def layout():
+    return HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0)
+
+
+class TestLinkGainMap:
+    def test_shapes(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=5, rng=rng)
+        positions = np.zeros((5, 2))
+        gains.set_positions(positions)
+        assert gains.local_mean_gain().shape == (5, 7)
+        assert gains.fading_power().shape == (5, 7)
+        assert gains.instantaneous_gain().shape == (5, 7)
+        assert gains.distances_m.shape == (5, 7)
+
+    def test_nearest_cell_has_highest_path_gain(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=1, rng=rng, shadowing_std_db=0.0)
+        position = layout.position_of(3) + np.array([50.0, 0.0])
+        gains.set_positions(position.reshape(1, 2))
+        row = gains.local_mean_gain()[0]
+        assert int(np.argmax(row)) == 3
+
+    def test_shadowing_statistics(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=200, rng=rng, shadowing_std_db=8.0,
+                            site_correlation=0.5)
+        shadow = gains.shadowing_db()
+        assert abs(np.mean(shadow)) < 1.0
+        assert np.std(shadow) == pytest.approx(8.0, rel=0.15)
+
+    def test_site_correlation(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=2000, rng=rng, shadowing_std_db=8.0,
+                            site_correlation=0.5)
+        shadow = gains.shadowing_db()
+        corr = np.corrcoef(shadow[:, 0], shadow[:, 1])[0, 1]
+        assert corr == pytest.approx(0.5, abs=0.1)
+
+    def test_advance_decorrelates_fading(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=3, rng=rng, doppler_hz=200.0)
+        positions = np.zeros((3, 2))
+        gains.set_positions(positions)
+        before = gains.fading_power().copy()
+        gains.advance(positions, moved_m=np.zeros(3), dt_s=0.5)
+        after = gains.fading_power()
+        assert not np.allclose(before, after)
+
+    def test_advance_keeps_shadowing_when_static(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=2, rng=rng, shadowing_std_db=8.0)
+        positions = np.zeros((2, 2))
+        gains.set_positions(positions)
+        before = gains.shadowing_db().copy()
+        gains.advance(positions, moved_m=np.zeros(2), dt_s=0.02)
+        assert np.allclose(before, gains.shadowing_db())
+
+    def test_fading_unit_mean(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=300, rng=rng, doppler_hz=10.0)
+        assert np.mean(gains.fading_power()) == pytest.approx(1.0, rel=0.1)
+
+    def test_validation(self, layout, rng):
+        with pytest.raises(ValueError):
+            LinkGainMap(layout, num_mobiles=-1, rng=rng)
+        with pytest.raises(ValueError):
+            LinkGainMap(layout, num_mobiles=1, rng=rng, site_correlation=1.5)
+        gains = LinkGainMap(layout, num_mobiles=1, rng=rng)
+        with pytest.raises(ValueError):
+            gains.advance(np.zeros((1, 2)), moved_m=np.array([-1.0]), dt_s=0.1)
+
+
+class TestSoftHandoffController:
+    def _pilot_matrix(self, strengths):
+        return np.asarray(strengths, dtype=float)
+
+    def test_strongest_cell_is_serving(self):
+        controller = SoftHandoffController(num_mobiles=1)
+        pilots = self._pilot_matrix([[0.05, 0.01, 0.001]])
+        controller.update(pilots)
+        state = controller.state(0)
+        assert state.serving_cell == 0
+        assert 0 in state.active_set
+
+    def test_add_threshold(self):
+        controller = SoftHandoffController(num_mobiles=1, add_threshold_db=-14.0,
+                                           drop_threshold_db=-16.0)
+        # Second pilot below the add threshold (-20 dB) must not join.
+        pilots = self._pilot_matrix([[10 ** -1.0, 10 ** -2.0]])
+        controller.update(pilots)
+        assert controller.state(0).active_set == [0]
+
+    def test_soft_handoff_when_pilots_comparable(self):
+        controller = SoftHandoffController(num_mobiles=1)
+        pilots = self._pilot_matrix([[10 ** -1.0, 10 ** -1.1]])
+        controller.update(pilots)
+        state = controller.state(0)
+        assert state.in_soft_handoff
+        assert len(state.active_set) == 2
+
+    def test_drop_hysteresis(self):
+        controller = SoftHandoffController(num_mobiles=1, add_threshold_db=-14.0,
+                                           drop_threshold_db=-16.0)
+        strong = 10 ** -1.0
+        # Join at -13 dB...
+        controller.update(self._pilot_matrix([[strong, 10 ** -1.3]]))
+        assert len(controller.state(0).active_set) == 2
+        # ... stay at -15 dB (above drop threshold) ...
+        controller.update(self._pilot_matrix([[strong, 10 ** -1.5]]))
+        assert len(controller.state(0).active_set) == 2
+        # ... leave below -16 dB.
+        controller.update(self._pilot_matrix([[strong, 10 ** -1.7]]))
+        assert controller.state(0).active_set == [0]
+
+    def test_reduced_active_set_size(self):
+        controller = SoftHandoffController(num_mobiles=1, max_active_set_size=3,
+                                           reduced_active_set_size=2)
+        pilots = self._pilot_matrix([[0.08, 0.07, 0.06, 0.001]])
+        controller.update(pilots)
+        state = controller.state(0)
+        assert len(state.active_set) == 3
+        assert len(state.reduced_active_set) == 2
+        assert state.reduced_active_set == state.active_set[:2]
+
+    def test_active_set_capped(self):
+        controller = SoftHandoffController(num_mobiles=1, max_active_set_size=2)
+        pilots = self._pilot_matrix([[0.08, 0.07, 0.06]])
+        controller.update(pilots)
+        assert len(controller.state(0).active_set) == 2
+
+    def test_always_keeps_strongest_even_in_hole(self):
+        controller = SoftHandoffController(num_mobiles=1)
+        pilots = self._pilot_matrix([[1e-6, 1e-7]])
+        controller.update(pilots)
+        assert controller.state(0).active_set == [0]
+
+    def test_matrices_and_fraction(self):
+        controller = SoftHandoffController(num_mobiles=2)
+        pilots = self._pilot_matrix([[0.08, 0.07], [0.08, 0.001]])
+        controller.update(pilots)
+        active = controller.active_set_matrix(2)
+        reduced = controller.reduced_active_set_matrix(2)
+        assert active[0].sum() == 2 and active[1].sum() == 1
+        assert reduced.shape == (2, 2)
+        assert controller.soft_handoff_fraction() == pytest.approx(0.5)
+        assert list(controller.serving_cells()) == [0, 0]
+
+    def test_handoff_event_counter(self):
+        controller = SoftHandoffController(num_mobiles=1)
+        controller.update(self._pilot_matrix([[0.08, 0.001]]))
+        events_after_first = controller.handoff_events
+        controller.update(self._pilot_matrix([[0.001, 0.08]]))
+        assert controller.handoff_events > events_after_first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftHandoffController(num_mobiles=1, add_threshold_db=-16.0,
+                                  drop_threshold_db=-14.0)
+        with pytest.raises(ValueError):
+            SoftHandoffController(num_mobiles=1, reduced_active_set_size=5,
+                                  max_active_set_size=3)
+        controller = SoftHandoffController(num_mobiles=2)
+        with pytest.raises(ValueError):
+            controller.update(np.ones((3, 4)))

@@ -1,0 +1,150 @@
+"""Tests for the assembled CDMA network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cdma.entities import MobileStation, UserClass
+from repro.cdma.network import CdmaNetwork
+from repro.config import SystemConfig
+from repro.geometry.hexgrid import HexagonalCellLayout
+from repro.geometry.mobility import RandomDirectionMobility
+
+
+def build_network(num_data=6, num_voice=6, seed=0, config=None):
+    config = config or SystemConfig.small_test_system()
+    layout = HexagonalCellLayout(config.radio.num_rings, config.radio.cell_radius_m)
+    rng = np.random.default_rng(seed)
+    bounds = layout.bounding_box()
+    mobiles = []
+    for i in range(num_data + num_voice):
+        position = layout.random_position(rng)
+        mobiles.append(
+            MobileStation(
+                index=i,
+                user_class=UserClass.DATA if i < num_data else UserClass.VOICE,
+                mobility=RandomDirectionMobility(position, bounds, rng=rng),
+            )
+        )
+    return CdmaNetwork(config, mobiles, rng, layout), config
+
+
+class TestCdmaNetworkBasics:
+    def test_dimensions(self):
+        network, _ = build_network()
+        assert network.num_cells == 7
+        assert network.num_mobiles == 12
+        assert len(network.data_mobile_indices()) == 6
+        assert len(network.voice_mobile_indices()) == 6
+
+    def test_snapshot_shapes(self):
+        network, _ = build_network()
+        snapshot = network.snapshot()
+        assert snapshot.gains.shape == (12, 7)
+        assert snapshot.forward_load.fch_power_w.shape == (12, 7)
+        assert snapshot.reverse_load.reverse_pilot_strength.shape == (12, 7)
+        assert snapshot.sch_mean_csi_forward.shape == (12,)
+        assert len(snapshot.handoff_states) == 12
+        assert snapshot.num_mobiles == 12
+        assert snapshot.num_cells == 7
+
+    def test_step_advances_time(self):
+        network, _ = build_network()
+        assert network.time_s == 0.0
+        network.step(0.02)
+        assert network.time_s == pytest.approx(0.02)
+        network.advance(0.02)
+        assert network.time_s == pytest.approx(0.04)
+
+    def test_negative_dt_rejected(self):
+        network, _ = build_network()
+        with pytest.raises(ValueError):
+            network.advance(-0.1)
+
+    def test_loading_within_budgets_at_light_load(self):
+        network, config = build_network(num_data=4, num_voice=4)
+        snapshot = network.snapshot()
+        budget = config.radio.bs_max_tx_power_w * (
+            1.0 - config.radio.bs_common_channel_fraction
+        )
+        assert np.all(snapshot.forward_load.current_power_w <= budget + 1e-9)
+        assert np.all(snapshot.forward_load.headroom_w() >= 0.0)
+        assert np.all(snapshot.reverse_load.current_interference_w > 0.0)
+
+    def test_sch_csi_bounded_by_reference(self):
+        network, config = build_network()
+        snapshot = network.snapshot()
+        reference = config.phy.sch_reference_csi
+        assert np.all(snapshot.sch_mean_csi_forward <= reference + 1e-9)
+        assert np.all(snapshot.sch_mean_csi_reverse <= reference + 1e-9)
+        assert np.all(snapshot.sch_mean_csi_forward >= 0.0)
+
+    def test_serving_cell_is_in_active_set(self):
+        network, _ = build_network()
+        snapshot = network.snapshot()
+        for state in snapshot.handoff_states:
+            assert state.serving_cell in state.active_set
+            assert set(state.reduced_active_set).issubset(set(state.active_set))
+
+
+class TestBurstPowerBookkeeping:
+    def test_commit_and_release_forward(self):
+        network, _ = build_network()
+        before = network.snapshot().forward_load.current_power_w[0]
+        network.commit_forward_burst_power(0, 2.0)
+        during = network.snapshot().forward_load.current_power_w[0]
+        assert during >= before + 2.0 - 1e-6
+        network.release_forward_burst_power(0, 2.0)
+        after = network.snapshot().forward_load.current_power_w[0]
+        assert after == pytest.approx(before, rel=0.05)
+
+    def test_commit_and_release_reverse(self):
+        network, _ = build_network()
+        base = network.snapshot().reverse_load.current_interference_w[0]
+        network.commit_reverse_burst_power(0, base)  # double the interference
+        during = network.snapshot().reverse_load.current_interference_w[0]
+        assert during > base
+        network.release_reverse_burst_power(0, base)
+        after = network.snapshot().reverse_load.current_interference_w[0]
+        assert after == pytest.approx(base, rel=0.1)
+
+    def test_release_never_goes_negative(self):
+        network, _ = build_network()
+        network.release_forward_burst_power(0, 100.0)
+        assert network.forward_burst_power_w[0] == 0.0
+        network.release_reverse_burst_power(0, 100.0)
+        assert network.reverse_burst_power_w[0] == 0.0
+
+    def test_negative_commit_rejected(self):
+        network, _ = build_network()
+        with pytest.raises(ValueError):
+            network.commit_forward_burst_power(0, -1.0)
+        with pytest.raises(ValueError):
+            network.commit_reverse_burst_power(0, -1.0)
+
+    def test_forward_burst_power_raises_interference_and_lowers_quality(self):
+        network, config = build_network(num_data=8, num_voice=8)
+        clean = network.snapshot()
+        # Commit a large burst in every cell and observe the FCH allocations rise.
+        for k in range(network.num_cells):
+            network.commit_forward_burst_power(k, 6.0)
+        loaded = network.snapshot()
+        assert loaded.forward_load.current_power_w.sum() > clean.forward_load.current_power_w.sum()
+        assert np.nanmean(loaded.forward_pc.achieved_sir) <= np.nanmean(
+            clean.forward_pc.achieved_sir
+        ) * 1.01
+
+
+class TestMobility:
+    def test_users_move_and_gains_change(self):
+        network, _ = build_network()
+        before = network.snapshot().gains.copy()
+        for _ in range(50):
+            network.advance(0.1)
+        after = network.snapshot().gains
+        assert not np.allclose(before, after)
+
+    def test_handoff_events_accumulate(self):
+        network, _ = build_network(num_data=10, num_voice=10, seed=3)
+        for _ in range(200):
+            network.advance(0.1)
+        assert network.handoff.handoff_events > 0

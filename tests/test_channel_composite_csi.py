@@ -1,0 +1,114 @@
+"""Tests for the composite channel and the CSI feedback models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.composite import ChannelSample, CompositeChannel
+from repro.channel.csi import CsiEstimator, CsiFeedbackChannel
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.shadowing import ConstantShadowing
+
+
+class TestChannelSample:
+    def test_gain_decomposition(self):
+        sample = ChannelSample(path_gain=1e-10, shadowing_gain=2.0, fading_gain=0.5)
+        assert sample.local_mean_gain == pytest.approx(2e-10)
+        assert sample.instantaneous_gain == pytest.approx(1e-10)
+
+
+class TestCompositeChannel:
+    def test_default_components(self):
+        channel = CompositeChannel()
+        sample = channel.sample()
+        assert sample.shadowing_gain == pytest.approx(1.0)
+        assert sample.fading_gain == pytest.approx(1.0)
+
+    def test_distance_setting(self):
+        channel = CompositeChannel(path_loss=LogDistancePathLoss())
+        channel.set_distance(500.0)
+        near = channel.sample().path_gain
+        channel.set_distance(5000.0)
+        far = channel.sample().path_gain
+        assert near > far
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeChannel().set_distance(-1.0)
+
+    def test_advance_moves_processes(self):
+        rng = np.random.default_rng(0)
+        channel = CompositeChannel.standard(rng, doppler_hz=100.0)
+        channel.set_distance(1000.0)
+        s1 = channel.advance(moved_m=20.0, dt_s=0.1)
+        s2 = channel.advance(moved_m=20.0, dt_s=0.1)
+        # Fast fading decorrelates quickly at 100 Hz Doppler over 100 ms.
+        assert s1.fading_gain != pytest.approx(s2.fading_gain)
+
+    def test_advance_with_new_distance(self):
+        channel = CompositeChannel(shadowing=ConstantShadowing())
+        sample = channel.advance(moved_m=0.0, dt_s=0.0, new_distance_m=2000.0)
+        assert channel.distance_m == 2000.0
+        assert sample.path_gain == pytest.approx(
+            float(channel.path_loss.gain(2000.0))
+        )
+
+    def test_standard_factory_statistics(self):
+        rng = np.random.default_rng(11)
+        channel = CompositeChannel.standard(rng, doppler_hz=50.0, shadowing_std_db=8.0)
+        gains = [channel.advance(5.0, 0.02).fading_gain for _ in range(5000)]
+        assert np.mean(gains) == pytest.approx(1.0, rel=0.2)
+
+
+class TestCsiEstimator:
+    def test_perfect_estimation(self):
+        estimator = CsiEstimator(error_std_db=0.0)
+        assert estimator.estimate(3.5) == 3.5
+
+    def test_noisy_estimation_unbiased_in_db(self):
+        estimator = CsiEstimator(error_std_db=2.0, rng=np.random.default_rng(0))
+        estimates = np.array([estimator.estimate(10.0) for _ in range(20_000)])
+        db_errors = 10 * np.log10(estimates / 10.0)
+        assert abs(np.mean(db_errors)) < 0.1
+        assert np.std(db_errors) == pytest.approx(2.0, rel=0.05)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CsiEstimator().estimate(-1.0)
+
+
+class TestCsiFeedbackChannel:
+    def test_delayed_delivery(self):
+        channel = CsiFeedbackChannel(delay_s=0.01, quantisation_bits=None)
+        channel.report(0.0, 5.0)
+        assert channel.transmitter_csi(0.005) is None
+        assert channel.transmitter_csi(0.02) == pytest.approx(5.0)
+
+    def test_latest_report_wins(self):
+        channel = CsiFeedbackChannel(delay_s=0.0, quantisation_bits=None)
+        channel.report(0.0, 1.0)
+        channel.report(1.0, 2.0)
+        assert channel.transmitter_csi(2.0) == pytest.approx(2.0)
+
+    def test_quantisation_grid(self):
+        channel = CsiFeedbackChannel(quantisation_bits=4, csi_range_db=(-10.0, 30.0))
+        value = channel.quantise(10.0 ** 1.23)
+        value_db = 10 * np.log10(value)
+        step = 40.0 / 15
+        assert abs((value_db + 10.0) / step - round((value_db + 10.0) / step)) < 1e-9
+
+    def test_quantisation_clipping(self):
+        channel = CsiFeedbackChannel(quantisation_bits=4, csi_range_db=(-10.0, 30.0))
+        assert 10 * np.log10(channel.quantise(1e9)) == pytest.approx(30.0)
+        assert channel.quantise(0.0) == 0.0
+
+    def test_no_quantisation(self):
+        channel = CsiFeedbackChannel(quantisation_bits=None)
+        assert channel.quantise(3.3) == 3.3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CsiFeedbackChannel(delay_s=-0.1)
+        with pytest.raises(ValueError):
+            CsiFeedbackChannel(quantisation_bits=0)
+        with pytest.raises(ValueError):
+            CsiFeedbackChannel(csi_range_db=(10.0, -10.0))

@@ -1,0 +1,118 @@
+"""Tests for the fast-fading models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fastfading import (
+    JakesFading,
+    NoFading,
+    RayleighBlockFading,
+    doppler_frequency_hz,
+    rayleigh_power_samples,
+)
+
+
+class TestDopplerFrequency:
+    def test_typical_vehicular(self):
+        # 30 km/h at 2 GHz -> ~55 Hz.
+        fd = doppler_frequency_hz(8.33, 2.0e9)
+        assert fd == pytest.approx(55.6, rel=0.02)
+
+    def test_zero_speed(self):
+        assert doppler_frequency_hz(0.0, 2.0e9) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            doppler_frequency_hz(-1.0, 2e9)
+        with pytest.raises(ValueError):
+            doppler_frequency_hz(1.0, 0.0)
+
+
+class TestRayleighPowerSamples:
+    def test_unit_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rayleigh_power_samples(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.02)
+
+    def test_exponential_distribution(self):
+        rng = np.random.default_rng(1)
+        samples = rayleigh_power_samples(rng, 100_000)
+        # P(X > 1) = exp(-1) for a unit-mean exponential.
+        assert np.mean(samples > 1.0) == pytest.approx(np.exp(-1.0), abs=0.01)
+
+    def test_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rayleigh_power_samples(rng, -1)
+        with pytest.raises(ValueError):
+            rayleigh_power_samples(rng, 10, mean=0.0)
+
+
+class TestNoFading:
+    def test_always_unity(self):
+        fading = NoFading()
+        assert fading.current_power() == 1.0
+        assert fading.advance(1.0) == 1.0
+
+
+class TestRayleighBlockFading:
+    def test_unit_mean_power(self):
+        rng = np.random.default_rng(3)
+        fading = RayleighBlockFading(doppler_hz=100.0, rng=rng)
+        powers = fading.sample_block_powers(dt_s=0.1, num_blocks=30_000)
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.05)
+
+    def test_correlation_bounds(self):
+        fading = RayleighBlockFading(doppler_hz=10.0, rng=np.random.default_rng(0))
+        assert fading.correlation(0.0) == 1.0
+        assert 0.0 <= fading.correlation(1.0) <= 1.0
+
+    def test_zero_doppler_freezes_channel(self):
+        fading = RayleighBlockFading(doppler_hz=0.0, rng=np.random.default_rng(0))
+        first = fading.current_power()
+        assert fading.advance(10.0) == pytest.approx(first)
+
+    def test_slow_fading_is_correlated(self):
+        rng = np.random.default_rng(5)
+        fading = RayleighBlockFading(doppler_hz=1.0, rng=rng)
+        powers = fading.sample_block_powers(dt_s=0.001, num_blocks=100)
+        # Within a millisecond at 1 Hz Doppler the channel barely moves.
+        assert np.std(np.diff(powers)) < 0.2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RayleighBlockFading(doppler_hz=-1.0)
+        fading = RayleighBlockFading(doppler_hz=1.0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            fading.sample_block_powers(0.1, -2)
+
+
+class TestJakesFading:
+    def test_unit_mean_power_over_time(self):
+        fading = JakesFading(doppler_hz=50.0, rng=np.random.default_rng(7))
+        t = np.linspace(0.0, 20.0, 40_000)
+        powers = fading.power(t)
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.15)
+
+    def test_scalar_and_array_interfaces(self):
+        fading = JakesFading(doppler_hz=10.0, rng=np.random.default_rng(0))
+        scalar = fading.power(0.5)
+        array = fading.power(np.array([0.5, 1.0]))
+        assert isinstance(scalar, float)
+        assert array.shape == (2,)
+        assert array[0] == pytest.approx(scalar)
+
+    def test_coherence_time(self):
+        fading = JakesFading(doppler_hz=42.3, rng=np.random.default_rng(0))
+        assert fading.coherence_time_s() == pytest.approx(0.01, rel=1e-3)
+
+    def test_deterministic_given_seed(self):
+        a = JakesFading(doppler_hz=10.0, rng=np.random.default_rng(9))
+        b = JakesFading(doppler_hz=10.0, rng=np.random.default_rng(9))
+        assert a.power(1.234) == pytest.approx(b.power(1.234))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            JakesFading(doppler_hz=0.0)
+        with pytest.raises(ValueError):
+            JakesFading(doppler_hz=10.0, num_oscillators=0)

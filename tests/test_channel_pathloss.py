@@ -1,0 +1,92 @@
+"""Tests for the path-loss models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.pathloss import HataPathLoss, LogDistancePathLoss
+
+
+class TestLogDistancePathLoss:
+    def test_reference_distance_loss(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_loss_db=128.1,
+                                    reference_distance_m=1000.0)
+        assert model.loss_db(1000.0) == pytest.approx(128.1)
+
+    def test_exponent_slope(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_loss_db=100.0,
+                                    reference_distance_m=1000.0)
+        # Doubling the distance adds 10*n*log10(2) ~ 12.04 dB for n = 4.
+        assert model.loss_db(2000.0) - model.loss_db(1000.0) == pytest.approx(
+            12.041, abs=1e-2
+        )
+
+    def test_gain_below_unity(self):
+        model = LogDistancePathLoss()
+        assert 0.0 < model.gain(500.0) < 1.0
+
+    def test_near_field_clipped(self):
+        model = LogDistancePathLoss()
+        assert model.loss_db(0.0) == model.loss_db(model.min_distance_m)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().loss_db(-1.0)
+
+    def test_array_input(self):
+        model = LogDistancePathLoss()
+        distances = np.array([100.0, 1000.0, 5000.0])
+        losses = model.loss_db(distances)
+        assert losses.shape == (3,)
+        assert np.all(np.diff(losses) > 0)
+
+    @given(st.floats(min_value=10.0, max_value=50_000.0),
+           st.floats(min_value=10.0, max_value=50_000.0))
+    def test_monotone_in_distance(self, d1, d2):
+        model = LogDistancePathLoss()
+        if d1 > d2:
+            d1, d2 = d2, d1
+        assert model.loss_db(d1) <= model.loss_db(d2) + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(reference_distance_m=0.0)
+
+
+class TestHataPathLoss:
+    def test_increasing_with_distance(self):
+        model = HataPathLoss()
+        assert model.loss_db(500.0) < model.loss_db(2000.0)
+
+    def test_higher_frequency_more_loss(self):
+        low = HataPathLoss(carrier_frequency_hz=1.5e9)
+        high = HataPathLoss(carrier_frequency_hz=2.0e9)
+        assert high.loss_db(1000.0) > low.loss_db(1000.0)
+
+    def test_taller_base_station_less_loss(self):
+        short = HataPathLoss(base_height_m=30.0)
+        tall = HataPathLoss(base_height_m=60.0)
+        assert tall.loss_db(1000.0) < short.loss_db(1000.0)
+
+    def test_large_city_correction(self):
+        small = HataPathLoss(large_city=False)
+        large = HataPathLoss(large_city=True)
+        assert large.loss_db(1000.0) != small.loss_db(1000.0)
+
+    def test_plausible_urban_value(self):
+        # COST-231 at 2 GHz, 1 km, 30 m BS: roughly 130-145 dB.
+        loss = HataPathLoss().loss_db(1000.0)
+        assert 120.0 < loss < 160.0
+
+    def test_array_support(self):
+        model = HataPathLoss()
+        losses = model.loss_db(np.array([200.0, 1000.0]))
+        assert losses.shape == (2,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HataPathLoss(carrier_frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            HataPathLoss(base_height_m=-1.0)

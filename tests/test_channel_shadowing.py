@@ -1,0 +1,77 @@
+"""Tests for the shadowing models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.shadowing import ConstantShadowing, GudmundsonShadowing
+
+
+class TestConstantShadowing:
+    def test_fixed_value(self):
+        shadow = ConstantShadowing(gain_db=3.0)
+        assert shadow.current_db() == 3.0
+        assert shadow.current_linear() == pytest.approx(10 ** 0.3)
+        shadow.advance(100.0)
+        assert shadow.current_db() == 3.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            ConstantShadowing().advance(-1.0)
+
+
+class TestGudmundsonShadowing:
+    def test_correlation_decay(self):
+        shadow = GudmundsonShadowing(std_db=8.0, decorrelation_distance_m=50.0,
+                                     rng=np.random.default_rng(0))
+        assert shadow.correlation(0.0) == pytest.approx(1.0)
+        assert shadow.correlation(50.0) == pytest.approx(np.exp(-1.0))
+        assert shadow.correlation(500.0) < 1e-4
+
+    def test_initial_value_override(self):
+        shadow = GudmundsonShadowing(rng=np.random.default_rng(0), initial_db=2.5)
+        assert shadow.current_db() == 2.5
+
+    def test_zero_distance_keeps_value(self):
+        shadow = GudmundsonShadowing(rng=np.random.default_rng(0), initial_db=1.0)
+        assert shadow.advance(0.0) == 1.0
+
+    def test_zero_std_is_constant(self):
+        shadow = GudmundsonShadowing(std_db=0.0, rng=np.random.default_rng(0),
+                                     initial_db=0.0)
+        assert shadow.advance(100.0) == 0.0
+
+    def test_stationary_statistics(self):
+        """The AR(1) update must preserve the marginal N(0, sigma^2)."""
+        rng = np.random.default_rng(42)
+        shadow = GudmundsonShadowing(std_db=8.0, decorrelation_distance_m=50.0, rng=rng)
+        samples = shadow.sample_path_db(step_m=200.0, num_steps=4000)
+        # Steps of 4 decorrelation distances: nearly independent samples.
+        assert abs(np.mean(samples)) < 1.0
+        assert np.std(samples) == pytest.approx(8.0, rel=0.12)
+
+    def test_small_steps_are_correlated(self):
+        rng = np.random.default_rng(1)
+        shadow = GudmundsonShadowing(std_db=8.0, decorrelation_distance_m=50.0, rng=rng)
+        path = shadow.sample_path_db(step_m=1.0, num_steps=2000)
+        diffs = np.abs(np.diff(path))
+        # Successive values 1 m apart must move much less than sigma.
+        assert np.mean(diffs) < 3.0
+
+    def test_linear_gain_consistency(self):
+        shadow = GudmundsonShadowing(rng=np.random.default_rng(0), initial_db=6.0)
+        assert shadow.current_linear() == pytest.approx(10 ** 0.6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GudmundsonShadowing(std_db=-1.0)
+        with pytest.raises(ValueError):
+            GudmundsonShadowing(decorrelation_distance_m=0.0)
+        with pytest.raises(ValueError):
+            GudmundsonShadowing(rng=np.random.default_rng(0)).advance(-5.0)
+
+    def test_sample_path_validation(self):
+        shadow = GudmundsonShadowing(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            shadow.sample_path_db(step_m=0.0, num_steps=5)
+        with pytest.raises(ValueError):
+            shadow.sample_path_db(step_m=1.0, num_steps=-1)

@@ -1,0 +1,291 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEnvironmentBasics:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [2.0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_raises(self):
+        env = Environment(10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "done"
+
+    def test_step_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+
+class TestEventOrdering:
+    def test_same_time_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            env.process(proc(env, name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_chronological_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, delay, name):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(proc(env, 3.0, "late"))
+        env.process(proc(env, 1.0, "early"))
+        env.run()
+        assert order == ["early", "late"]
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        results = []
+
+        def waiter(env, event):
+            value = yield event
+            results.append(value)
+
+        env.process(waiter(env, event))
+        event.succeed(99)
+        env.run()
+        assert results == [99]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_propagates_into_process(self):
+        env = Environment()
+        event = env.event()
+        caught = []
+
+        def waiter(env, event):
+            try:
+                yield event
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env, event))
+        event.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_raises_from_run(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+
+class TestProcesses:
+    def test_process_waits_for_process(self):
+        env = Environment()
+        log = []
+
+        def child(env):
+            yield env.timeout(2.0)
+            return 7
+
+        def parent(env):
+            value = yield env.process(child(env))
+            log.append((env.now, value))
+
+        env.process(parent(env))
+        env.run()
+        assert log == [(2.0, 7)]
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        process = env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+        assert process.triggered and not process.ok
+
+    def test_interrupt(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [(1.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.5)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("inside process")
+
+        env.process(failing(env))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        results = []
+
+        def first(env, event):
+            yield env.timeout(1.0)
+            event.succeed("early")
+
+        def second(env, event):
+            yield env.timeout(5.0)
+            value = yield event  # event already processed by now
+            results.append((env.now, value))
+
+        event = env.event()
+        env.process(first(env, event))
+        env.process(second(env, event))
+        env.run()
+        assert results == [(5.0, "early")]
+
+
+class TestConditions:
+    def test_all_of(self):
+        env = Environment()
+        results = []
+
+        def waiter(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(2.0, value="b")
+            values = yield env.all_of([t1, t2])
+            results.append((env.now, sorted(values.values())))
+
+        env.process(waiter(env))
+        env.run()
+        assert results == [(2.0, ["a", "b"])]
+
+    def test_any_of(self):
+        env = Environment()
+        results = []
+
+        def waiter(env):
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(5.0, value="slow")
+            values = yield env.any_of([t1, t2])
+            results.append((env.now, list(values.values())))
+
+        env.process(waiter(env))
+        env.run()
+        assert results == [(1.0, ["fast"])]
+
+    def test_all_of_empty(self):
+        env = Environment()
+        condition = env.all_of([])
+        env.run()
+        assert condition.triggered and condition.ok

@@ -1,0 +1,203 @@
+"""Tests for the DES queues, resources and monitors."""
+
+import pytest
+
+from repro.des import Environment, Monitor, PriorityStore, Resource, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env, store):
+            yield store.put("item-1")
+            yield env.timeout(1.0)
+            yield store.put("item-2")
+
+        def consumer(env, store):
+            for _ in range(2):
+                item = yield store.get()
+                received.append((env.now, item))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert received == [(0.0, "item-1"), (1.0, "item-2")]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer(env, store):
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert received == [(3.0, "late")]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(2.0)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 2.0) in log
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        assert len(store) == 1
+
+
+class TestPriorityStore:
+    def test_priority_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        received = []
+
+        def producer(env, store):
+            yield store.put_item(5, "low")
+            yield store.put_item(1, "high")
+            yield store.put_item(3, "mid")
+
+        def consumer(env, store):
+            yield env.timeout(1.0)
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert received == ["high", "mid", "low"]
+
+    def test_requires_tuples(self):
+        env = Environment()
+        store = PriorityStore(env)
+        with pytest.raises(TypeError):
+            store.put("not a tuple")
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, resource, name, hold):
+            request = resource.request()
+            yield request
+            log.append((name, "start", env.now))
+            yield env.timeout(hold)
+            resource.release(request)
+            log.append((name, "end", env.now))
+
+        env.process(user(env, resource, "a", 2.0))
+        env.process(user(env, resource, "b", 1.0))
+        env.run()
+        assert ("a", "start", 0.0) in log
+        assert ("b", "start", 2.0) in log
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, resource, name):
+            with resource.request() as request:
+                yield request
+                log.append((name, env.now))
+                yield env.timeout(1.0)
+
+        env.process(user(env, resource, "first"))
+        env.process(user(env, resource, "second"))
+        env.run()
+        assert log == [("first", 0.0), ("second", 1.0)]
+
+    def test_capacity_two(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def user(env, resource, name):
+            with resource.request() as request:
+                yield request
+                starts.append((name, env.now))
+                yield env.timeout(1.0)
+
+        for name in "abc":
+            env.process(user(env, resource, name))
+        env.run()
+        assert starts[0][1] == 0.0 and starts[1][1] == 0.0
+        assert starts[2][1] == 1.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_count(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        request = resource.request()
+        assert resource.count == 1
+        resource.release(request)
+        assert resource.count == 0
+
+
+class TestMonitor:
+    def test_records_with_env_clock(self):
+        env = Environment()
+        monitor = Monitor(env, name="queue")
+
+        def proc(env, monitor):
+            monitor.record(1.0)
+            yield env.timeout(2.0)
+            monitor.record(3.0)
+
+        env.process(proc(env, monitor))
+        env.run()
+        times, values = monitor.series()
+        assert list(times) == [0.0, 2.0]
+        assert list(values) == [1.0, 3.0]
+        assert monitor.mean == pytest.approx(2.0)
+
+    def test_requires_time_without_env(self):
+        monitor = Monitor()
+        with pytest.raises(ValueError):
+            monitor.record(1.0)
+        monitor.record(1.0, time=0.5)
+        assert monitor.count == 1
+
+    def test_no_series_when_disabled(self):
+        monitor = Monitor(keep_series=False)
+        monitor.record(1.0, time=0.0)
+        with pytest.raises(RuntimeError):
+            monitor.series()

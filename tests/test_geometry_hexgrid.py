@@ -1,0 +1,117 @@
+"""Tests for the hexagonal cell layout."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hexgrid import HexagonalCellLayout
+
+
+class TestLayoutConstruction:
+    @pytest.mark.parametrize("rings, expected", [(0, 1), (1, 7), (2, 19), (3, 37)])
+    def test_cell_count(self, rings, expected):
+        layout = HexagonalCellLayout(num_rings=rings, cell_radius_m=1000.0)
+        assert layout.num_cells == expected
+
+    def test_centre_cell_first(self):
+        layout = HexagonalCellLayout(num_rings=2, cell_radius_m=1000.0)
+        assert np.allclose(layout.position_of(0), [0.0, 0.0])
+
+    def test_inter_site_distance(self):
+        layout = HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0)
+        assert layout.inter_site_distance_m == pytest.approx(np.sqrt(3) * 1000.0)
+        # Every first-ring site sits exactly one inter-site distance away.
+        for k in range(1, 7):
+            distance = np.hypot(*layout.position_of(k))
+            assert distance == pytest.approx(layout.inter_site_distance_m, rel=1e-9)
+
+    def test_positions_unique(self):
+        layout = HexagonalCellLayout(num_rings=2)
+        positions = layout.positions
+        pairwise = np.linalg.norm(
+            positions[:, None, :] - positions[None, :, :], axis=2
+        )
+        np.fill_diagonal(pairwise, np.inf)
+        assert pairwise.min() > 0.9 * layout.inter_site_distance_m
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HexagonalCellLayout(num_rings=-1)
+        with pytest.raises(ValueError):
+            HexagonalCellLayout(cell_radius_m=0.0)
+
+
+class TestDistances:
+    def test_distance_to_own_site_is_zero(self):
+        layout = HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0)
+        for k in range(layout.num_cells):
+            assert layout.distance(layout.position_of(k), k) == pytest.approx(0.0, abs=1e-6)
+
+    def test_nearest_cell_at_site(self):
+        layout = HexagonalCellLayout(num_rings=1)
+        for k in range(layout.num_cells):
+            assert layout.nearest_cell(layout.position_of(k)) == k
+
+    def test_wraparound_limits_distance(self):
+        layout = HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0, wraparound=True)
+        flat = HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0, wraparound=False)
+        # A point far out on the positive x axis: with wrap-around it must be
+        # closer to some cell than in the unwrapped layout.
+        point = np.array([4000.0, 0.0])
+        assert layout.distances_to_all(point).min() <= flat.distances_to_all(point).min()
+
+    def test_wraparound_distances_never_larger(self):
+        rng = np.random.default_rng(0)
+        wrapped = HexagonalCellLayout(num_rings=1, cell_radius_m=800.0, wraparound=True)
+        flat = HexagonalCellLayout(num_rings=1, cell_radius_m=800.0, wraparound=False)
+        for _ in range(50):
+            point = rng.uniform(-3000, 3000, size=2)
+            assert np.all(
+                wrapped.distances_to_all(point) <= flat.distances_to_all(point) + 1e-9
+            )
+
+    def test_bounding_box_contains_sites(self):
+        layout = HexagonalCellLayout(num_rings=2, cell_radius_m=500.0)
+        xmin, xmax, ymin, ymax = layout.bounding_box()
+        positions = layout.positions
+        assert np.all(positions[:, 0] >= xmin) and np.all(positions[:, 0] <= xmax)
+        assert np.all(positions[:, 1] >= ymin) and np.all(positions[:, 1] <= ymax)
+
+
+class TestSampling:
+    def test_random_position_in_cell_is_close(self):
+        layout = HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0)
+        rng = np.random.default_rng(1)
+        for k in range(layout.num_cells):
+            for _ in range(20):
+                point = layout.random_position_in_cell(k, rng)
+                offset = point - layout.position_of(k)
+                assert np.hypot(*offset) <= 1000.0 + 1e-9
+
+    def test_random_position_in_cell_mostly_nearest(self):
+        """Sampled points should (almost always) be served by their own cell."""
+        layout = HexagonalCellLayout(num_rings=1, cell_radius_m=1000.0, wraparound=False)
+        rng = np.random.default_rng(2)
+        hits = 0
+        total = 300
+        for _ in range(total):
+            cell = int(rng.integers(0, layout.num_cells))
+            point = layout.random_position_in_cell(cell, rng)
+            if layout.nearest_cell(point) == cell:
+                hits += 1
+        assert hits / total > 0.95
+
+    def test_random_position_invalid_cell(self):
+        layout = HexagonalCellLayout(num_rings=1)
+        with pytest.raises(IndexError):
+            layout.random_position_in_cell(99, np.random.default_rng(0))
+
+    def test_random_position_any_cell(self):
+        layout = HexagonalCellLayout(num_rings=1)
+        point = layout.random_position(np.random.default_rng(3))
+        assert point.shape == (2,)
+
+    def test_cell_of_matches_nearest(self):
+        layout = HexagonalCellLayout(num_rings=1)
+        rng = np.random.default_rng(4)
+        point = layout.random_position(rng)
+        assert layout.cell_of(point) == layout.nearest_cell(point)

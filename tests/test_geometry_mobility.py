@@ -1,0 +1,123 @@
+"""Tests for the mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mobility import (
+    RandomDirectionMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+)
+
+BOUNDS = (-1000.0, 1000.0, -1000.0, 1000.0)
+
+
+class TestStaticMobility:
+    def test_never_moves(self):
+        model = StaticMobility([10.0, 20.0])
+        assert model.advance(100.0) == 0.0
+        assert np.allclose(model.position, [10.0, 20.0])
+        assert model.speed_m_s == 0.0
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            StaticMobility([0, 0]).advance(-1.0)
+
+
+class TestRandomDirectionMobility:
+    def test_stays_inside_bounds(self):
+        rng = np.random.default_rng(0)
+        model = RandomDirectionMobility([0.0, 0.0], BOUNDS, speed_m_s=50.0,
+                                        mean_epoch_s=5.0, rng=rng)
+        for _ in range(500):
+            model.advance(1.0)
+            x, y = model.position
+            assert BOUNDS[0] - 1e-6 <= x <= BOUNDS[1] + 1e-6
+            assert BOUNDS[2] - 1e-6 <= y <= BOUNDS[3] + 1e-6
+
+    def test_travelled_distance_matches_speed(self):
+        rng = np.random.default_rng(1)
+        model = RandomDirectionMobility([0.0, 0.0], BOUNDS, speed_m_s=10.0, rng=rng)
+        assert model.advance(3.0) == pytest.approx(30.0)
+
+    def test_zero_speed_stays_put(self):
+        model = RandomDirectionMobility([5.0, 5.0], BOUNDS, speed_m_s=0.0,
+                                        rng=np.random.default_rng(0))
+        model.advance(10.0)
+        assert np.allclose(model.position, [5.0, 5.0])
+
+    def test_speed_range(self):
+        rng = np.random.default_rng(2)
+        model = RandomDirectionMobility([0.0, 0.0], BOUNDS, speed_m_s=(1.0, 5.0),
+                                        mean_epoch_s=0.5, rng=rng)
+        for _ in range(50):
+            model.advance(1.0)
+            assert 1.0 <= model.speed_m_s <= 5.0
+
+    def test_direction_changes_over_time(self):
+        rng = np.random.default_rng(3)
+        model = RandomDirectionMobility([0.0, 0.0], BOUNDS, speed_m_s=1.0,
+                                        mean_epoch_s=1.0, rng=rng)
+        first = model.direction_rad
+        model.advance(50.0)
+        assert model.direction_rad != pytest.approx(first)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomDirectionMobility([0, 0], (1.0, 0.0, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomDirectionMobility([0, 0], BOUNDS, speed_m_s=-1.0)
+        with pytest.raises(ValueError):
+            RandomDirectionMobility([0, 0], BOUNDS, speed_m_s=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomDirectionMobility([0, 0], BOUNDS, mean_epoch_s=0.0)
+
+
+class TestRandomWaypointMobility:
+    def test_stays_inside_bounds(self):
+        rng = np.random.default_rng(4)
+        model = RandomWaypointMobility([0.0, 0.0], BOUNDS, speed_range_m_s=(5.0, 20.0),
+                                       rng=rng)
+        for _ in range(300):
+            model.advance(2.0)
+            x, y = model.position
+            assert BOUNDS[0] - 1e-6 <= x <= BOUNDS[1] + 1e-6
+            assert BOUNDS[2] - 1e-6 <= y <= BOUNDS[3] + 1e-6
+
+    def test_reaches_waypoint_direction(self):
+        rng = np.random.default_rng(5)
+        model = RandomWaypointMobility([0.0, 0.0], BOUNDS, speed_range_m_s=(10.0, 10.0),
+                                       rng=rng)
+        waypoint = model.waypoint
+        start = model.position
+        model.advance(1.0)
+        moved = model.position - start
+        to_waypoint = waypoint - start
+        cosine = np.dot(moved, to_waypoint) / (
+            np.linalg.norm(moved) * np.linalg.norm(to_waypoint)
+        )
+        assert cosine == pytest.approx(1.0, abs=1e-6)
+
+    def test_travelled_distance_bounded_by_speed(self):
+        rng = np.random.default_rng(6)
+        model = RandomWaypointMobility([0.0, 0.0], BOUNDS, speed_range_m_s=(3.0, 8.0),
+                                       rng=rng)
+        travelled = model.advance(10.0)
+        assert travelled <= 8.0 * 10.0 + 1e-6
+
+    def test_pause_slows_progress(self):
+        rng = np.random.default_rng(7)
+        no_pause = RandomWaypointMobility([0.0, 0.0], BOUNDS, speed_range_m_s=(10.0, 10.0),
+                                          pause_s=0.0, rng=rng)
+        rng2 = np.random.default_rng(7)
+        with_pause = RandomWaypointMobility([0.0, 0.0], BOUNDS, speed_range_m_s=(10.0, 10.0),
+                                            pause_s=5.0, rng=rng2)
+        d1 = sum(no_pause.advance(10.0) for _ in range(20))
+        d2 = sum(with_pause.advance(10.0) for _ in range(20))
+        assert d2 <= d1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([0, 0], BOUNDS, speed_range_m_s=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([0, 0], BOUNDS, pause_s=-1.0)

@@ -1,0 +1,178 @@
+"""Tests for the measurement sub-layer (admissible regions)."""
+
+import numpy as np
+import pytest
+
+from repro.cdma.network import CdmaNetwork
+from repro.config import SystemConfig
+from repro.mac.measurement import (
+    AdmissibleRegion,
+    ForwardLinkMeasurement,
+    ReverseLinkMeasurement,
+    relative_path_loss,
+)
+from repro.mac.requests import BurstRequest, LinkDirection
+from tests.test_cdma_network import build_network
+
+
+@pytest.fixture(scope="module")
+def snapshot_and_config():
+    network, config = build_network(num_data=8, num_voice=6, seed=5)
+    network.advance(0.5)
+    return network.snapshot(), config
+
+
+def make_requests(link, mobiles):
+    return [
+        BurstRequest(mobile_index=j, link=link, size_bits=200_000.0)
+        for j in mobiles
+    ]
+
+
+class TestAdmissibleRegion:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissibleRegion(matrix=np.ones(3), bounds=np.ones(3),
+                             link=LinkDirection.FORWARD)
+        with pytest.raises(ValueError):
+            AdmissibleRegion(matrix=np.ones((2, 3)), bounds=np.ones(3),
+                             link=LinkDirection.FORWARD)
+        with pytest.raises(ValueError):
+            AdmissibleRegion(matrix=-np.ones((2, 3)), bounds=np.ones(2),
+                             link=LinkDirection.FORWARD)
+
+    def test_negative_bounds_clamped(self):
+        region = AdmissibleRegion(matrix=np.ones((1, 2)), bounds=np.array([-1.0]),
+                                  link=LinkDirection.FORWARD)
+        assert region.bounds[0] == 0.0
+
+    def test_admits_and_usage(self):
+        region = AdmissibleRegion(
+            matrix=np.array([[1.0, 2.0], [0.5, 0.0]]),
+            bounds=np.array([4.0, 1.0]),
+            link=LinkDirection.FORWARD,
+        )
+        assert region.admits(np.array([2, 1]))
+        assert not region.admits(np.array([3, 1]))
+        assert np.allclose(region.resource_usage(np.array([2, 1])), [4.0, 1.0])
+        with pytest.raises(ValueError):
+            region.admits(np.array([1, 2, 3]))
+
+
+class TestRelativePathLoss:
+    def test_ratio_of_pilot_strengths(self):
+        pilots = np.array([0.05, 0.01, 0.002])
+        assert relative_path_loss(pilots, host_cell=0, neighbor_cell=1) == pytest.approx(0.2)
+        assert relative_path_loss(pilots, host_cell=0, neighbor_cell=2) == pytest.approx(0.04)
+
+    def test_host_must_be_positive(self):
+        with pytest.raises(ValueError):
+            relative_path_loss(np.array([0.0, 0.1]), 0, 1)
+
+
+class TestForwardLinkMeasurement:
+    def test_region_shape_and_sign(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        measurement = ForwardLinkMeasurement(config.phy, config.mac)
+        requests = make_requests(LinkDirection.FORWARD, range(5))
+        region = measurement.build(snapshot, requests)
+        assert region.matrix.shape == (snapshot.num_cells, 5)
+        assert np.all(region.matrix >= 0.0)
+        assert np.all(region.bounds >= 0.0)
+        assert region.link is LinkDirection.FORWARD
+
+    def test_costs_only_in_reduced_active_set(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        measurement = ForwardLinkMeasurement(config.phy, config.mac)
+        requests = make_requests(LinkDirection.FORWARD, range(5))
+        region = measurement.build(snapshot, requests)
+        for column, request in enumerate(requests):
+            reduced = set(snapshot.handoff_states[request.mobile_index].reduced_active_set)
+            nonzero = set(np.nonzero(region.matrix[:, column])[0].tolist())
+            assert nonzero.issubset(reduced)
+            assert len(nonzero) >= 1
+
+    def test_cost_scales_with_gamma_s(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        requests = make_requests(LinkDirection.FORWARD, range(4))
+        base = ForwardLinkMeasurement(config.phy, config.mac).build(snapshot, requests)
+        from dataclasses import replace
+        doubled_phy = replace(config.phy, gamma_s_forward=2.0 * config.phy.gamma_s_forward)
+        doubled = ForwardLinkMeasurement(doubled_phy, config.mac).build(snapshot, requests)
+        assert np.allclose(doubled.matrix, 2.0 * base.matrix)
+
+    def test_bounds_follow_admission_margin(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        requests = make_requests(LinkDirection.FORWARD, range(3))
+        region = ForwardLinkMeasurement(config.phy, config.mac).build(snapshot, requests)
+        expected = snapshot.forward_load.headroom_w() * config.mac.forward_admission_margin
+        assert np.allclose(region.bounds, np.maximum(expected, 0.0))
+
+    def test_rejects_wrong_link(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        measurement = ForwardLinkMeasurement(config.phy, config.mac)
+        with pytest.raises(ValueError):
+            measurement.build(snapshot, make_requests(LinkDirection.REVERSE, [0]))
+
+
+class TestReverseLinkMeasurement:
+    def test_region_shape_and_sign(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        measurement = ReverseLinkMeasurement(config.phy, config.mac)
+        requests = make_requests(LinkDirection.REVERSE, range(5))
+        region = measurement.build(snapshot, requests)
+        assert region.matrix.shape == (snapshot.num_cells, 5)
+        assert np.all(region.matrix >= 0.0)
+        assert np.all(region.bounds >= 0.0)
+        assert region.link is LinkDirection.REVERSE
+
+    def test_host_cell_cost_positive(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        measurement = ReverseLinkMeasurement(config.phy, config.mac)
+        requests = make_requests(LinkDirection.REVERSE, range(5))
+        region = measurement.build(snapshot, requests)
+        for column, request in enumerate(requests):
+            host = snapshot.handoff_states[request.mobile_index].serving_cell
+            assert region.matrix[host, column] > 0.0
+
+    def test_neighbor_projection_uses_margin(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        requests = make_requests(LinkDirection.REVERSE, range(6))
+        from dataclasses import replace
+        base_mac = replace(config.mac, neighbor_margin=1.0)
+        big_mac = replace(config.mac, neighbor_margin=3.0)
+        base = ReverseLinkMeasurement(config.phy, base_mac).build(snapshot, requests)
+        inflated = ReverseLinkMeasurement(config.phy, big_mac).build(snapshot, requests)
+        # Soft hand-off rows are identical; non-soft-hand-off neighbour rows scale.
+        for column, request in enumerate(requests):
+            in_handoff = set(snapshot.handoff_states[request.mobile_index].active_set)
+            for k in range(snapshot.num_cells):
+                if k in in_handoff:
+                    assert inflated.matrix[k, column] == pytest.approx(base.matrix[k, column])
+                elif base.matrix[k, column] > 0:
+                    assert inflated.matrix[k, column] == pytest.approx(
+                        3.0 * base.matrix[k, column]
+                    )
+
+    def test_scrm_limits_constrained_neighbors(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        requests = make_requests(LinkDirection.REVERSE, range(4))
+        tight = ReverseLinkMeasurement(config.phy, config.mac, scrm_max_pilots=1).build(
+            snapshot, requests
+        )
+        loose = ReverseLinkMeasurement(config.phy, config.mac, scrm_max_pilots=8).build(
+            snapshot, requests
+        )
+        # Reporting more pilots can only add constrained cells.
+        assert np.count_nonzero(tight.matrix) <= np.count_nonzero(loose.matrix)
+
+    def test_rejects_wrong_link(self, snapshot_and_config):
+        snapshot, config = snapshot_and_config
+        measurement = ReverseLinkMeasurement(config.phy, config.mac)
+        with pytest.raises(ValueError):
+            measurement.build(snapshot, make_requests(LinkDirection.FORWARD, [0]))
+
+    def test_invalid_scrm_size(self, snapshot_and_config):
+        _, config = snapshot_and_config
+        with pytest.raises(ValueError):
+            ReverseLinkMeasurement(config.phy, config.mac, scrm_max_pilots=0)

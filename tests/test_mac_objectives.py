@@ -1,0 +1,118 @@
+"""Tests for the scheduling objectives J1 and J2."""
+
+import numpy as np
+import pytest
+
+from repro.config import MacConfig
+from repro.mac.objectives import (
+    DelayAwareObjective,
+    ThroughputObjective,
+    linear_delay_penalty,
+)
+
+
+class TestDelayPenalty:
+    def test_increases_with_waiting_time(self):
+        assert linear_delay_penalty(2.0, 1.0, scale=0.5, forgetting=0.1) > (
+            linear_delay_penalty(1.0, 1.0, scale=0.5, forgetting=0.1)
+        )
+
+    def test_decreases_with_granted_rate(self):
+        assert linear_delay_penalty(2.0, 4.0, scale=0.5, forgetting=0.1) < (
+            linear_delay_penalty(2.0, 1.0, scale=0.5, forgetting=0.1)
+        )
+
+    def test_never_negative(self):
+        assert linear_delay_penalty(3.0, 1000.0, scale=0.5, forgetting=0.1) == 0.0
+
+    def test_zero_wait_zero_penalty(self):
+        assert linear_delay_penalty(0.0, 1.0, scale=0.5, forgetting=0.1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_delay_penalty(-1.0, 1.0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            linear_delay_penalty(1.0, -1.0, 0.5, 0.1)
+
+
+class TestThroughputObjective:
+    def test_weights_are_priority_scaled_delta_rho(self):
+        objective = ThroughputObjective()
+        weights = objective.weights(
+            delta_rho=np.array([2.0, 1.0]),
+            priorities=np.array([0.0, 1.0]),
+            waiting_times_s=np.array([0.0, 10.0]),
+            config=MacConfig(),
+        )
+        assert np.allclose(weights, [2.0, 2.0])
+
+    def test_waiting_time_does_not_matter(self):
+        objective = ThroughputObjective()
+        config = MacConfig()
+        w1 = objective.weights(np.array([1.0]), np.array([0.0]), np.array([0.0]), config)
+        w2 = objective.weights(np.array([1.0]), np.array([0.0]), np.array([99.0]), config)
+        assert np.allclose(w1, w2)
+
+    def test_value_matches_eq_19(self):
+        objective = ThroughputObjective()
+        value = objective.value(
+            assignment=np.array([2, 3]),
+            delta_rho=np.array([1.5, 2.0]),
+            priorities=np.array([0.0, 0.5]),
+            waiting_times_s=np.zeros(2),
+            config=MacConfig(),
+        )
+        assert value == pytest.approx(2 * 1.5 * 1.0 + 3 * 2.0 * 1.5)
+
+    def test_shape_mismatch(self):
+        objective = ThroughputObjective()
+        with pytest.raises(ValueError):
+            objective.weights(np.array([1.0]), np.array([1.0, 2.0]),
+                              np.array([0.0]), MacConfig())
+
+
+class TestDelayAwareObjective:
+    def test_waiting_boosts_weight(self):
+        objective = DelayAwareObjective()
+        config = MacConfig(delay_penalty_scale=1.0, delay_forgetting_factor=0.2)
+        fresh = objective.weights(np.array([1.0]), np.array([0.0]), np.array([0.0]), config)
+        stale = objective.weights(np.array([1.0]), np.array([0.0]), np.array([5.0]), config)
+        assert stale[0] > fresh[0]
+        assert stale[0] == pytest.approx(1.0 * (1.0 + 1.0 * 0.2 * 5.0))
+
+    def test_reduces_to_j1_when_scale_zero(self):
+        config = MacConfig(delay_penalty_scale=0.0)
+        j1 = ThroughputObjective()
+        j2 = DelayAwareObjective()
+        delta_rho = np.array([1.0, 2.5])
+        priorities = np.array([0.0, 0.3])
+        waiting = np.array([3.0, 7.0])
+        assert np.allclose(
+            j1.weights(delta_rho, priorities, waiting, config),
+            j2.weights(delta_rho, priorities, waiting, config),
+        )
+
+    def test_value_includes_penalty(self):
+        objective = DelayAwareObjective()
+        config = MacConfig(delay_penalty_scale=0.5, delay_forgetting_factor=0.05)
+        # One request, waiting 4 s, granted m=2 at delta_rho=1.5.
+        value = objective.value(
+            assignment=np.array([2]),
+            delta_rho=np.array([1.5]),
+            priorities=np.array([0.0]),
+            waiting_times_s=np.array([4.0]),
+            config=config,
+        )
+        rate = 2 * 1.5
+        expected = rate - 0.5 * 4.0 * max(0.0, 1.0 - 0.05 * rate)
+        assert value == pytest.approx(expected)
+
+    def test_rejecting_a_stale_request_is_penalised(self):
+        """With J2, granting nothing to a long-waiting request costs objective value."""
+        objective = DelayAwareObjective()
+        config = MacConfig(delay_penalty_scale=1.0, delay_forgetting_factor=0.1)
+        nothing = objective.value(np.array([0]), np.array([1.0]), np.array([0.0]),
+                                  np.array([10.0]), config)
+        something = objective.value(np.array([4]), np.array([1.0]), np.array([0.0]),
+                                    np.array([10.0]), config)
+        assert something > nothing

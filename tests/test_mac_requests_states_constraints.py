@@ -1,0 +1,166 @@
+"""Tests for burst requests/grants, MAC states and the duration constraint."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import MacConfig
+from repro.mac.constraints import BurstDurationConstraint
+from repro.mac.requests import BurstGrant, BurstRequest, LinkDirection
+from repro.mac.states import MacState, MacStateMachine, setup_delay_penalty
+
+
+class TestBurstRequest:
+    def test_defaults(self):
+        request = BurstRequest(mobile_index=1, link=LinkDirection.FORWARD,
+                               size_bits=1000.0, arrival_time_s=2.0)
+        assert request.remaining_bits == 1000.0
+        assert not request.completed
+        assert request.waiting_time_s(5.0) == pytest.approx(3.0)
+        assert request.waiting_time_s(1.0) == 0.0
+
+    def test_unique_ids(self):
+        a = BurstRequest(0, LinkDirection.FORWARD, 100.0)
+        b = BurstRequest(0, LinkDirection.FORWARD, 100.0)
+        assert a.request_id != b.request_id
+
+    def test_account_served_bits(self):
+        request = BurstRequest(0, LinkDirection.REVERSE, 500.0)
+        request.account_served_bits(200.0)
+        assert request.remaining_bits == 300.0
+        request.account_served_bits(400.0)
+        assert request.remaining_bits == 0.0
+        assert request.completed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstRequest(0, LinkDirection.FORWARD, 0.0)
+        with pytest.raises(ValueError):
+            BurstRequest(0, LinkDirection.FORWARD, 10.0, priority=-1.0)
+        request = BurstRequest(0, LinkDirection.FORWARD, 10.0)
+        with pytest.raises(ValueError):
+            request.account_served_bits(-1.0)
+
+
+class TestBurstGrant:
+    def make_grant(self, **kwargs):
+        request = BurstRequest(0, LinkDirection.FORWARD, 10_000.0)
+        defaults = dict(request=request, m=4, rate_bps=96_000.0, start_s=1.0,
+                        duration_s=0.1, bits_to_serve=9600.0,
+                        forward_power_w={0: 0.5})
+        defaults.update(kwargs)
+        return BurstGrant(**defaults)
+
+    def test_end_time(self):
+        grant = self.make_grant()
+        assert grant.end_s == pytest.approx(1.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_grant(m=0)
+        with pytest.raises(ValueError):
+            self.make_grant(rate_bps=0.0)
+        with pytest.raises(ValueError):
+            self.make_grant(duration_s=0.0)
+        with pytest.raises(ValueError):
+            self.make_grant(bits_to_serve=0.0)
+
+
+class TestSetupDelayPenalty:
+    def test_step_function(self):
+        config = MacConfig(t2_s=1.0, t3_s=5.0, d1_penalty_s=0.04, d2_penalty_s=0.3)
+        assert setup_delay_penalty(0.0, config) == 0.0
+        assert setup_delay_penalty(0.99, config) == 0.0
+        assert setup_delay_penalty(1.0, config) == 0.04
+        assert setup_delay_penalty(4.99, config) == 0.04
+        assert setup_delay_penalty(5.0, config) == 0.3
+        assert setup_delay_penalty(100.0, config) == 0.3
+
+    def test_negative_waiting_rejected(self):
+        with pytest.raises(ValueError):
+            setup_delay_penalty(-1.0, MacConfig())
+
+
+class TestMacStateMachine:
+    def test_decay_sequence(self):
+        config = MacConfig(t_active_to_control_hold_s=0.1, t2_s=1.0, t3_s=5.0)
+        machine = MacStateMachine(config=config)
+        assert machine.state is MacState.ACTIVE
+        machine.advance(0.05, active=False)
+        assert machine.state is MacState.ACTIVE
+        machine.advance(0.1, active=False)
+        assert machine.state is MacState.CONTROL_HOLD
+        machine.advance(1.0, active=False)
+        assert machine.state is MacState.SUSPENDED
+        machine.advance(4.0, active=False)
+        assert machine.state is MacState.DORMANT
+
+    def test_touch_resets(self):
+        machine = MacStateMachine(config=MacConfig())
+        machine.advance(10.0, active=False)
+        assert machine.state is MacState.DORMANT
+        machine.advance(0.02, active=True)
+        assert machine.state is MacState.ACTIVE
+        assert machine.idle_time_s == 0.0
+
+    def test_setup_penalties_per_state(self):
+        config = MacConfig(d1_penalty_s=0.04, d2_penalty_s=0.3)
+        machine = MacStateMachine(config=config)
+        assert machine.setup_penalty_s() == 0.0
+        machine.advance(0.5, active=False)   # control hold
+        assert machine.setup_penalty_s() == 0.0
+        machine.advance(1.0, active=False)   # suspended
+        assert machine.setup_penalty_s() == 0.04
+        machine.advance(10.0, active=False)  # dormant
+        assert machine.setup_penalty_s() == 0.3
+
+
+class TestBurstDurationConstraint:
+    def make(self, min_duration=0.08, max_m=16):
+        config = MacConfig(min_burst_duration_s=min_duration,
+                           max_spreading_gain_ratio=max_m)
+        return BurstDurationConstraint(config=config, fch_bit_rate_bps=9600.0)
+
+    def test_large_burst_allows_max_m(self):
+        constraint = self.make()
+        # 10 Mbit at delta_rho=2: even m=16 runs for ~32 s >> 80 ms.
+        assert constraint.upper_bound(10e6, 2.0) == 16
+
+    def test_small_burst_limits_m(self):
+        constraint = self.make()
+        # eq. (24): m <= Q / (T1 * delta_rho * Rf) = 9600/(0.08*2*9600) = 6.25.
+        assert constraint.upper_bound(9600.0, 2.0) == 6
+
+    def test_tiny_burst_still_gets_one_unit(self):
+        constraint = self.make()
+        assert constraint.upper_bound(100.0, 2.0) == 1
+
+    def test_outage_user_gets_zero(self):
+        constraint = self.make()
+        assert constraint.upper_bound(10e6, 0.0) == 0
+
+    def test_vectorised(self):
+        constraint = self.make()
+        sizes = np.array([10e6, 9600.0, 100.0])
+        rho = np.array([2.0, 2.0, 2.0])
+        assert list(constraint.upper_bounds(sizes, rho)) == [16, 6, 1]
+
+    def test_vector_shape_mismatch(self):
+        constraint = self.make()
+        with pytest.raises(ValueError):
+            constraint.upper_bounds(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_burst_duration(self):
+        constraint = self.make()
+        assert constraint.burst_duration_s(96_000.0, m=5, delta_rho=2.0) == (
+            pytest.approx(1.0)
+        )
+        assert math.isinf(constraint.burst_duration_s(96_000.0, m=5, delta_rho=0.0))
+        with pytest.raises(ValueError):
+            constraint.burst_duration_s(96_000.0, m=0, delta_rho=1.0)
+
+    def test_upper_bound_monotone_in_size(self):
+        constraint = self.make()
+        bounds = [constraint.upper_bound(q, 1.5) for q in (1e3, 1e4, 1e5, 1e6)]
+        assert bounds == sorted(bounds)

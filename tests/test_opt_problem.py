@@ -1,0 +1,99 @@
+"""Tests for the bounded integer program container."""
+
+import numpy as np
+import pytest
+
+from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
+
+
+def simple_problem():
+    return BoundedIntegerProgram(
+        objective=[3.0, 2.0],
+        constraint_matrix=[[1.0, 1.0], [2.0, 0.5]],
+        constraint_bounds=[4.0, 5.0],
+        upper_bounds=[3, 3],
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        problem = simple_problem()
+        assert problem.num_variables == 2
+        assert problem.num_constraints == 2
+
+    def test_rejects_negative_matrix(self):
+        with pytest.raises(ValueError):
+            BoundedIntegerProgram([1.0], [[-1.0]], [1.0], [1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BoundedIntegerProgram([1.0, 2.0], [[1.0]], [1.0], [1])
+        with pytest.raises(ValueError):
+            BoundedIntegerProgram([1.0], [[1.0]], [1.0, 2.0], [1])
+        with pytest.raises(ValueError):
+            BoundedIntegerProgram([1.0], [[1.0]], [1.0], [1, 2])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            BoundedIntegerProgram([np.inf], [[1.0]], [1.0], [1])
+
+    def test_negative_bounds_clamped(self):
+        problem = BoundedIntegerProgram([1.0], [[1.0]], [-0.5], [4])
+        assert problem.constraint_bounds[0] == 0.0
+
+    def test_fractional_upper_bounds_floored(self):
+        problem = BoundedIntegerProgram([1.0], [[1.0]], [10.0], [2.7])
+        assert problem.upper_bounds[0] == 2
+
+    def test_rejects_negative_upper_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedIntegerProgram([1.0], [[1.0]], [1.0], [-1])
+
+
+class TestEvaluation:
+    def test_objective_value(self):
+        problem = simple_problem()
+        assert problem.objective_value([1, 2]) == pytest.approx(7.0)
+
+    def test_feasibility(self):
+        problem = simple_problem()
+        assert problem.is_feasible([1, 1])
+        assert not problem.is_feasible([3, 3])  # violates both constraints
+        assert not problem.is_feasible([-1, 0])
+        assert not problem.is_feasible([4, 0])  # above upper bound
+
+    def test_slack(self):
+        problem = simple_problem()
+        slack = problem.slack([1, 1])
+        assert np.allclose(slack, [2.0, 2.5])
+
+    def test_max_increment(self):
+        problem = simple_problem()
+        values = np.zeros(2)
+        # Variable 0 is limited by constraint 1 (2x <= 5 -> 2) and its bound 3.
+        assert problem.max_increment(values, 0) == 2
+        # Variable 1 is limited by its own bound.
+        assert problem.max_increment(values, 1) == 3
+
+    def test_max_increment_from_partial(self):
+        problem = simple_problem()
+        assert problem.max_increment(np.array([1.0, 0.0]), 0) == 1
+
+    def test_search_space_size(self):
+        assert simple_problem().search_space_size() == 16.0
+
+    def test_wrong_length_rejected(self):
+        problem = simple_problem()
+        with pytest.raises(ValueError):
+            problem.objective_value([1])
+        with pytest.raises(ValueError):
+            problem.is_feasible([1, 2, 3])
+
+
+class TestIntegerSolution:
+    def test_values_are_int_copies(self):
+        values = np.array([1.0, 2.0])
+        solution = IntegerSolution(values=values, objective=3.0, optimal=True)
+        assert solution.values.dtype.kind == "i"
+        values[0] = 9
+        assert solution.values[0] == 1

@@ -1,0 +1,101 @@
+"""Tests for the BER models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.ber import (
+    ber_adaptive_mode,
+    ber_orthogonal_union,
+    inverse_q_function,
+    q_function,
+    required_csi_adaptive_mode,
+    required_csi_orthogonal_union,
+)
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.0) == pytest.approx(0.158655, rel=1e-4)
+        assert q_function(3.0) == pytest.approx(1.349898e-3, rel=1e-4)
+
+    def test_array(self):
+        values = q_function(np.array([0.0, 1.0]))
+        assert values.shape == (2,)
+
+    @given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    def test_inverse_round_trip(self, p):
+        assert q_function(inverse_q_function(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_inverse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            inverse_q_function(0.0)
+        with pytest.raises(ValueError):
+            inverse_q_function(1.0)
+
+
+class TestAdaptiveModeBer:
+    def test_decreasing_in_csi(self):
+        gammas = np.linspace(0.0, 100.0, 50)
+        bers = ber_adaptive_mode(gammas, bits_per_symbol=3)
+        assert np.all(np.diff(bers) <= 1e-15)
+
+    def test_increasing_in_bits(self):
+        assert ber_adaptive_mode(10.0, 2) < ber_adaptive_mode(10.0, 5)
+
+    def test_coding_gain_reduces_ber(self):
+        assert ber_adaptive_mode(10.0, 3, coding_gain_db=3.0) < ber_adaptive_mode(
+            10.0, 3, coding_gain_db=0.0
+        )
+
+    def test_worst_case_ber_is_the_prefactor(self):
+        # At zero CSI the exponential model saturates at its 0.2 prefactor.
+        assert ber_adaptive_mode(0.0, 1) == pytest.approx(0.2)
+
+    def test_threshold_inversion(self):
+        for bits in (1, 2, 4, 6):
+            for target in (1e-2, 1e-3, 1e-5):
+                threshold = required_csi_adaptive_mode(target, bits)
+                assert ber_adaptive_mode(threshold, bits) == pytest.approx(target, rel=1e-9)
+
+    def test_threshold_monotone_in_bits(self):
+        thresholds = [required_csi_adaptive_mode(1e-3, b) for b in range(1, 7)]
+        assert all(a < b for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_threshold_monotone_in_target(self):
+        loose = required_csi_adaptive_mode(1e-2, 3)
+        tight = required_csi_adaptive_mode(1e-5, 3)
+        assert tight > loose
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ber_adaptive_mode(-1.0, 2)
+        with pytest.raises(ValueError):
+            ber_adaptive_mode(1.0, 0)
+        with pytest.raises(ValueError):
+            required_csi_adaptive_mode(0.5, 2)
+
+
+class TestOrthogonalUnionBer:
+    def test_decreasing_in_csi(self):
+        gammas = np.linspace(0.0, 60.0, 40)
+        bers = ber_orthogonal_union(gammas, order=64)
+        assert np.all(np.diff(bers) <= 1e-15)
+
+    def test_higher_order_worse_at_fixed_symbol_energy(self):
+        assert ber_orthogonal_union(16.0, 64) > ber_orthogonal_union(16.0, 4)
+
+    def test_threshold_inversion(self):
+        threshold = required_csi_orthogonal_union(1e-3, 16)
+        assert ber_orthogonal_union(threshold, 16) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ber_orthogonal_union(1.0, 3)
+        with pytest.raises(ValueError):
+            required_csi_orthogonal_union(1e-3, 5)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            required_csi_orthogonal_union(0.7, 4)

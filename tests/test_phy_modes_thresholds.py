@@ -1,0 +1,91 @@
+"""Tests for the VTAOC mode table and adaptation thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.phy.modes import ModeTable, TransmissionMode
+from repro.phy.thresholds import constant_ber_thresholds, threshold_for_mode
+
+
+class TestTransmissionMode:
+    def test_valid_mode(self):
+        mode = TransmissionMode(index=2, bits_per_symbol=2.0, label="m2")
+        assert mode.throughput == 2.0
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            TransmissionMode(index=0, bits_per_symbol=1.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            TransmissionMode(index=1, bits_per_symbol=0.0)
+
+
+class TestModeTable:
+    def test_default_table(self):
+        table = ModeTable.default()
+        assert len(table) == 6
+        assert table.throughputs() == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert table.max_throughput == 6.0
+        assert table.min_throughput == 1.0
+
+    def test_indexing_is_one_based(self):
+        table = ModeTable.default()
+        assert table[1].bits_per_symbol == 1.0
+        assert table[6].bits_per_symbol == 6.0
+        with pytest.raises(IndexError):
+            _ = table[0]
+        with pytest.raises(IndexError):
+            _ = table[7]
+
+    def test_from_throughputs(self):
+        table = ModeTable.from_throughputs([0.5, 1.0, 2.0])
+        assert len(table) == 3
+        assert table[2].bits_per_symbol == 1.0
+
+    def test_requires_increasing_throughput(self):
+        with pytest.raises(ValueError):
+            ModeTable.from_throughputs([1.0, 1.0])
+        with pytest.raises(ValueError):
+            ModeTable.from_throughputs([2.0, 1.0])
+
+    def test_requires_consecutive_indices(self):
+        modes = [
+            TransmissionMode(index=1, bits_per_symbol=1.0),
+            TransmissionMode(index=3, bits_per_symbol=2.0),
+        ]
+        with pytest.raises(ValueError):
+            ModeTable(modes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModeTable([])
+
+    def test_iteration(self):
+        table = ModeTable.default(3)
+        assert [m.index for m in table] == [1, 2, 3]
+
+
+class TestThresholds:
+    def test_thresholds_strictly_increasing(self):
+        table = ModeTable.default()
+        thresholds = constant_ber_thresholds(table, target_ber=1e-3)
+        assert np.all(np.diff(thresholds) > 0.0)
+
+    def test_tighter_ber_raises_thresholds(self):
+        table = ModeTable.default()
+        loose = constant_ber_thresholds(table, target_ber=1e-2)
+        tight = constant_ber_thresholds(table, target_ber=1e-6)
+        assert np.all(tight > loose)
+
+    def test_coding_gain_lowers_thresholds(self):
+        table = ModeTable.default()
+        plain = constant_ber_thresholds(table, target_ber=1e-3)
+        coded = constant_ber_thresholds(table, target_ber=1e-3, coding_gain_db=3.0)
+        assert np.all(coded < plain)
+        assert coded[0] == pytest.approx(plain[0] / 10 ** 0.3, rel=1e-9)
+
+    def test_threshold_for_mode_matches_table(self):
+        table = ModeTable.default()
+        thresholds = constant_ber_thresholds(table, target_ber=1e-3)
+        assert thresholds[2] == pytest.approx(threshold_for_mode(3.0, 1e-3))

@@ -1,0 +1,133 @@
+"""Tests for the VTAOC adaptive codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.modes import ModeTable
+from repro.phy.vtaoc import VtaocCodec, instantaneous_csi
+
+
+class TestInstantaneousCsi:
+    def test_product_form(self):
+        assert instantaneous_csi(0.5, 10.0) == pytest.approx(5.0)
+
+    def test_array(self):
+        out = instantaneous_csi(np.array([0.5, 2.0]), 10.0)
+        assert np.allclose(out, [5.0, 20.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            instantaneous_csi(-0.1, 1.0)
+
+
+class TestModeSelection:
+    def test_outage_below_first_threshold(self):
+        codec = VtaocCodec()
+        assert codec.select_mode(0.0) == 0
+        assert codec.select_mode(codec.thresholds[0] * 0.99) == 0
+
+    def test_mode_boundaries(self):
+        codec = VtaocCodec()
+        thresholds = codec.thresholds
+        for q in range(1, codec.num_modes + 1):
+            assert codec.select_mode(thresholds[q - 1]) == q
+            if q < codec.num_modes:
+                midpoint = 0.5 * (thresholds[q - 1] + thresholds[q])
+                assert codec.select_mode(midpoint) == q
+
+    def test_top_mode_at_high_csi(self):
+        codec = VtaocCodec()
+        assert codec.select_mode(1e6) == codec.num_modes
+
+    def test_constant_ber_property(self):
+        """In every mode region the BER never exceeds the target."""
+        codec = VtaocCodec(target_ber=1e-3)
+        for csi in np.linspace(codec.thresholds[0], codec.thresholds[-1] * 3, 500):
+            assert codec.ber(float(csi)) <= 1e-3 * (1 + 1e-9)
+
+    def test_instantaneous_throughput_steps(self):
+        codec = VtaocCodec()
+        csi = np.concatenate(([0.0], codec.thresholds * 1.001))
+        throughput = codec.instantaneous_throughput(csi)
+        assert throughput[0] == 0.0
+        assert list(throughput[1:]) == codec.mode_table.throughputs()
+
+
+class TestAverageThroughput:
+    def test_zero_at_zero_csi(self):
+        assert VtaocCodec().average_throughput(0.0) == 0.0
+
+    def test_monotone_in_mean_csi(self):
+        codec = VtaocCodec()
+        means = np.linspace(0.1, 1000.0, 100)
+        avg = codec.average_throughput(means)
+        assert np.all(np.diff(avg) >= -1e-12)
+
+    def test_saturates_at_max_mode(self):
+        codec = VtaocCodec()
+        assert codec.average_throughput(1e9) == pytest.approx(
+            codec.max_throughput, rel=1e-6
+        )
+
+    def test_matches_monte_carlo(self):
+        codec = VtaocCodec()
+        rng = np.random.default_rng(0)
+        for mean_db in (5.0, 12.0, 20.0):
+            mean = 10 ** (mean_db / 10)
+            closed = codec.average_throughput(mean)
+            mc = codec.average_throughput_mc(mean, rng, num_samples=200_000)
+            assert mc == pytest.approx(closed, rel=0.02)
+
+    def test_mode_probabilities_sum_to_one(self):
+        codec = VtaocCodec()
+        for mean in (0.0, 1.0, 20.0, 500.0):
+            probs = codec.mode_probabilities(mean)
+            assert probs.shape == (codec.num_modes + 1,)
+            assert probs.sum() == pytest.approx(1.0)
+            assert np.all(probs >= 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=1e4))
+    def test_average_bounded_by_extremes(self, mean_csi):
+        codec = VtaocCodec()
+        avg = codec.average_throughput(mean_csi)
+        assert 0.0 <= avg <= codec.max_throughput
+
+    def test_relative_average_throughput(self):
+        codec = VtaocCodec()
+        assert codec.relative_average_throughput(100.0, fch_throughput=2.0) == (
+            pytest.approx(codec.average_throughput(100.0) / 2.0)
+        )
+
+    def test_outage_probability(self):
+        codec = VtaocCodec()
+        assert codec.outage_probability(0.0) == 1.0
+        assert codec.outage_probability(1e9) < 1e-6
+
+    def test_mean_csi_for_throughput_inverse(self):
+        codec = VtaocCodec()
+        target = 2.5
+        mean = codec.mean_csi_for_throughput(target)
+        assert codec.average_throughput(mean) == pytest.approx(target, rel=1e-4)
+
+    def test_mean_csi_for_unreachable_throughput(self):
+        codec = VtaocCodec()
+        with pytest.raises(ValueError):
+            codec.mean_csi_for_throughput(codec.max_throughput)
+
+
+class TestConstruction:
+    def test_custom_table(self):
+        codec = VtaocCodec(mode_table=ModeTable.from_throughputs([0.5, 1.0]))
+        assert codec.num_modes == 2
+
+    def test_invalid_target_ber(self):
+        with pytest.raises(ValueError):
+            VtaocCodec(target_ber=0.5)
+
+    def test_thresholds_are_copies(self):
+        codec = VtaocCodec()
+        thresholds = codec.thresholds
+        thresholds[0] = -1.0
+        assert codec.thresholds[0] > 0.0

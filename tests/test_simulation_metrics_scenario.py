@@ -1,0 +1,127 @@
+"""Tests for the metrics collector, scenario configuration and runner helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mac.requests import LinkDirection
+from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.runner import average_results
+from repro.simulation.scenario import MobilityConfig, ScenarioConfig, TrafficConfig
+
+
+class TestMetricsCollector:
+    def test_packet_call_delay_accounting(self):
+        metrics = MetricsCollector(warmup_s=0.0)
+        metrics.record_packet_call_arrival(1.0, 1000.0)
+        metrics.record_packet_call_completion(1.0, 3.0, 1000.0, LinkDirection.FORWARD)
+        metrics.record_packet_call_arrival(2.0, 500.0)
+        metrics.record_packet_call_completion(2.0, 2.5, 500.0, LinkDirection.REVERSE)
+        assert metrics.delay_all.mean == pytest.approx(1.25)
+        assert metrics.delay_per_link[LinkDirection.FORWARD].mean == pytest.approx(2.0)
+        assert metrics.delay_per_link[LinkDirection.REVERSE].mean == pytest.approx(0.5)
+        assert metrics.completed_calls == 2
+        assert metrics.served_bits == pytest.approx(1500.0)
+
+    def test_warmup_excludes_early_arrivals(self):
+        metrics = MetricsCollector(warmup_s=5.0)
+        metrics.record_packet_call_arrival(1.0, 1000.0)
+        metrics.record_packet_call_completion(1.0, 6.0, 1000.0, LinkDirection.FORWARD)
+        # Arrived during warm-up: not counted even though it completed later.
+        assert metrics.completed_calls == 0
+        metrics.record_packet_call_arrival(6.0, 2000.0)
+        metrics.record_packet_call_completion(6.0, 7.0, 2000.0, LinkDirection.FORWARD)
+        assert metrics.completed_calls == 1
+
+    def test_frame_and_admission_records(self):
+        metrics = MetricsCollector()
+        metrics.record_frame(0.0, pending_requests=3, forward_utilisation=0.5,
+                             reverse_rise_db=2.0, fch_outage_fraction=0.1)
+        metrics.record_frame(1.0, pending_requests=5, forward_utilisation=0.7,
+                             reverse_rise_db=3.0, fch_outage_fraction=0.2)
+        metrics.record_admission(0.0, num_pending=4, num_granted=2,
+                                 granted_ms=np.array([3, 0, 5, 0]))
+        assert metrics.queue_length.mean == pytest.approx(4.0)
+        assert metrics.granted_m.mean == pytest.approx(4.0)
+        assert metrics.granted_requests == 2
+        assert metrics.pending_request_frames == 4
+
+    def test_summary(self):
+        metrics = MetricsCollector()
+        metrics.record_packet_call_arrival(0.0, 8000.0)
+        metrics.record_frame(0.0, 1, 0.3, 1.0, 0.0)
+        metrics.record_packet_call_completion(0.0, 2.0, 8000.0, LinkDirection.FORWARD)
+        metrics.record_frame(4.0, 0, 0.2, 1.0, 0.0)
+        result = metrics.summarise("test-sched", num_data_users=10, num_voice_users=5)
+        assert isinstance(result, SimulationResult)
+        assert result.scheduler == "test-sched"
+        assert result.duration_s == pytest.approx(4.0)
+        assert result.carried_throughput_bps == pytest.approx(2000.0)
+        record = result.as_record()
+        assert record["scheduler"] == "test-sched"
+        assert "mean_delay_s" in record
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(warmup_s=-1.0)
+
+
+class TestScenarioConfig:
+    def test_population_counts(self):
+        scenario = ScenarioConfig(num_data_users_per_cell=4, num_voice_users_per_cell=2)
+        # Default system has 1 ring = 7 cells.
+        assert scenario.total_data_users == 28
+        assert scenario.total_voice_users == 14
+
+    def test_with_load_and_seed(self):
+        scenario = ScenarioConfig()
+        loaded = scenario.with_load(20)
+        reseeded = scenario.with_seed(99)
+        assert loaded.num_data_users_per_cell == 20
+        assert reseeded.seed == 99
+        assert scenario.num_data_users_per_cell != 20 or scenario.seed != 99
+
+    def test_fast_test_factory(self):
+        scenario = ScenarioConfig.fast_test()
+        assert scenario.duration_s <= 5.0
+        assert scenario.total_data_users <= 7 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(forward_fraction=1.5)
+        with pytest.raises(ValueError):
+            TrafficConfig(mean_reading_time_s=0.0)
+        with pytest.raises(ValueError):
+            MobilityConfig(speed_range_m_s=(5.0, 1.0))
+
+
+class TestAverageResults:
+    def _result(self, delay, throughput):
+        return SimulationResult(
+            scheduler="s", num_data_users=10, num_voice_users=5, duration_s=10.0,
+            mean_packet_delay_s=delay, p90_packet_delay_s=delay * 2,
+            mean_forward_delay_s=delay, mean_reverse_delay_s=delay,
+            completed_packet_calls=100, carried_throughput_bps=throughput,
+            offered_load_bps=throughput * 1.1, mean_granted_m=8.0, grant_rate=0.8,
+            mean_queue_length=2.0, forward_utilisation=0.5, reverse_rise_db=3.0,
+            fch_outage_fraction=0.05, handoff_events=12, extra={"x": 1.0},
+        )
+
+    def test_mean_of_fields(self):
+        merged = average_results([self._result(1.0, 1000.0), self._result(3.0, 3000.0)])
+        assert merged.mean_packet_delay_s == pytest.approx(2.0)
+        assert merged.carried_throughput_bps == pytest.approx(2000.0)
+        assert merged.extra["x"] == pytest.approx(1.0)
+
+    def test_nan_fields_ignored(self):
+        a = self._result(1.0, 1000.0)
+        b = self._result(math.nan, 3000.0)
+        merged = average_results([a, b])
+        assert merged.mean_packet_delay_s == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_results([])
