@@ -1,0 +1,773 @@
+"""Benchmark T4 — frame rate of the vectorised radio frame pipeline.
+
+Measures ``CdmaNetwork.step`` throughput (frames/sec) at configurable scale
+(default J=200 mobiles, K=19 cells) for three pipelines:
+
+* ``seed_baseline`` — a faithful transcription of the seed implementation
+  (per-mobile distance loops, per-frame list comprehensions, Python hand-off
+  loop, double local-mean gain build, cold-start power control) monkey-patched
+  onto the current classes.  Where the transcription cannot reach (the solver
+  kernels themselves were micro-optimised in place), the baseline silently
+  benefits, so the reported speedups are *conservative*.
+* ``optimized_cold`` — the vectorised pipeline with cold-start power control;
+  snapshot numerics are bit-identical to the seed implementation.
+* ``optimized_warm`` — the vectorised pipeline with warm-started (previous
+  frame's fixed point) and Aitken-accelerated power control; numerics agree
+  with cold start to within the solver tolerance.
+
+Emits ``BENCH_frame_rate.json`` (repo root by default) with the per-frame
+timing trajectories, the speedups and the parity verdicts.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_t4_frame_rate.py [--smoke]
+
+or under pytest (smoke scale, parity assertions only — timing is reported,
+never asserted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import types
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script invocation without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cdma.entities import MobileStation, UserClass
+from repro.cdma.loading import ForwardLinkLoad, ReverseLinkLoad
+from repro.cdma.network import CdmaNetwork, NetworkSnapshot
+from repro.cdma.pilot import forward_pilot_ec_io, reverse_pilot_ec_io
+from repro.config import SystemConfig
+from repro.geometry.hexgrid import HexagonalCellLayout
+from repro.geometry.mobility import RandomDirectionMobility
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_frame_rate.json"
+
+
+# --------------------------------------------------------------------------
+# network construction
+# --------------------------------------------------------------------------
+def build_network(
+    num_mobiles: int,
+    num_rings: int,
+    seed: int,
+    warm_start: bool = False,
+    iterations: Optional[int] = None,
+    tolerance: Optional[float] = None,
+) -> CdmaNetwork:
+    """Build a reproducible network (half data / half voice users)."""
+    config = SystemConfig()
+    radio_overrides = {"num_rings": num_rings}
+    if iterations is not None:
+        radio_overrides["power_control_iterations"] = iterations
+    if tolerance is not None:
+        radio_overrides["power_control_tolerance"] = tolerance
+    config = replace(config, radio=replace(config.radio, **radio_overrides))
+    layout = HexagonalCellLayout(
+        num_rings=num_rings,
+        cell_radius_m=config.radio.cell_radius_m,
+        wraparound=config.radio.wraparound,
+    )
+    rng = np.random.default_rng(seed)
+    bounds = layout.bounding_box()
+    mobiles = [
+        MobileStation(
+            index=i,
+            user_class=UserClass.DATA if i % 2 == 0 else UserClass.VOICE,
+            mobility=RandomDirectionMobility(
+                layout.random_position(rng), bounds, rng=rng
+            ),
+        )
+        for i in range(num_mobiles)
+    ]
+    return CdmaNetwork(
+        config, mobiles, rng, layout, warm_start_power_control=warm_start
+    )
+
+
+# --------------------------------------------------------------------------
+# seed-implementation baseline (transcribed from the v0 seed commit)
+# --------------------------------------------------------------------------
+class _SeedActiveSetState:
+    def __init__(self):
+        self.active_set: List[int] = []
+        self.reduced_active_set: List[int] = []
+        self.serving_cell = 0
+
+    @property
+    def in_soft_handoff(self):
+        return len(self.active_set) > 1
+
+
+class _SeedHandoffController:
+    """The seed's per-mobile Python-loop soft hand-off controller."""
+
+    def __init__(self, template) -> None:
+        self.num_mobiles = template.num_mobiles
+        self.add_threshold_db = template.add_threshold_db
+        self.drop_threshold_db = template.drop_threshold_db
+        self.max_active_set_size = template.max_active_set_size
+        self.reduced_active_set_size = template.reduced_active_set_size
+        self._states = [_SeedActiveSetState() for _ in range(self.num_mobiles)]
+        self.handoff_events = 0
+
+    def update(self, pilot_ec_io: np.ndarray) -> None:
+        pilots = np.asarray(pilot_ec_io, dtype=float)
+        add_lin = 10.0 ** (self.add_threshold_db / 10.0)
+        drop_lin = 10.0 ** (self.drop_threshold_db / 10.0)
+        for j in range(self.num_mobiles):
+            row = pilots[j]
+            state = self._states[j]
+            previous = list(state.active_set)
+            retained = [k for k in state.active_set if row[k] >= drop_lin]
+            order = np.argsort(row)[::-1]
+            for k in order:
+                k = int(k)
+                if row[k] < add_lin:
+                    break
+                if k not in retained:
+                    retained.append(k)
+            if not retained:
+                retained = [int(order[0])]
+            retained.sort(key=lambda cell: -row[cell])
+            retained = retained[: self.max_active_set_size]
+            state.active_set = retained
+            state.reduced_active_set = retained[: self.reduced_active_set_size]
+            state.serving_cell = retained[0]
+            if retained != previous:
+                self.handoff_events += 1
+
+    @property
+    def states(self):
+        return tuple(self._states)
+
+    def state(self, mobile_index):
+        return self._states[mobile_index]
+
+    def active_set_matrix(self, num_cells: int) -> np.ndarray:
+        out = np.zeros((self.num_mobiles, num_cells), dtype=bool)
+        for j, state in enumerate(self._states):
+            out[j, state.active_set] = True
+        return out
+
+    def reduced_active_set_matrix(self, num_cells: int) -> np.ndarray:
+        out = np.zeros((self.num_mobiles, num_cells), dtype=bool)
+        for j, state in enumerate(self._states):
+            out[j, state.reduced_active_set] = True
+        return out
+
+    def serving_cells(self) -> np.ndarray:
+        return np.asarray([s.serving_cell for s in self._states], dtype=int)
+
+    def soft_handoff_fraction(self) -> float:
+        if not self._states:
+            return 0.0
+        return float(np.mean([s.in_soft_handoff for s in self._states]))
+
+
+def _seed_reverse_solve(
+    self,
+    gains,
+    serving_cells,
+    active,
+    noise_power_w,
+    extra_received_power_w=None,
+    rate_factor=None,
+    initial_total_power_w=None,
+):
+    from repro.cdma.powercontrol import PowerControlResult
+
+    gains = np.asarray(gains, dtype=float)
+    num_mobiles, num_cells = gains.shape
+    serving = np.asarray(serving_cells, dtype=int).reshape(num_mobiles)
+    active = np.asarray(active, dtype=bool).reshape(num_mobiles)
+    noise = np.asarray(noise_power_w, dtype=float).reshape(num_cells)
+    extra = (
+        np.zeros(num_cells)
+        if extra_received_power_w is None
+        else np.asarray(extra_received_power_w, dtype=float).reshape(num_cells)
+    )
+    rate = (
+        np.ones(num_mobiles)
+        if rate_factor is None
+        else np.asarray(rate_factor, dtype=float).reshape(num_mobiles)
+    )
+    if np.any(rate <= 0.0) or np.any(rate > 1.0):
+        raise ValueError("rate_factor entries must lie in (0, 1]")
+
+    q = self.ebio_target * rate / self.processing_gain
+    own_gain = gains[np.arange(num_mobiles), serving]
+    tx = np.zeros(num_mobiles, dtype=float)
+    totals = noise + extra
+    iterations_done = 0
+    overhead = 1.0 + self.pilot_overhead
+
+    for iteration in range(self.iterations):
+        iterations_done = iteration + 1
+        required_rx = (q / (1.0 + q)) * totals[serving]
+        new_tx = np.where(
+            active & (own_gain > 0.0), required_rx / np.maximum(own_gain, 1e-300), 0.0
+        )
+        new_tx = np.minimum(new_tx, self.max_tx_power_w / overhead)
+        new_totals = noise + extra + (gains * (new_tx * overhead)[:, np.newaxis]).sum(
+            axis=0
+        )
+        delta = np.max(np.abs(new_totals - totals) / np.maximum(new_totals, 1e-300))
+        tx, totals = new_tx, new_totals
+        if delta < self.tolerance:
+            break
+
+    received = tx * own_gain
+    interference = totals[serving] - received
+    with np.errstate(divide="ignore", invalid="ignore"):
+        achieved = np.where(
+            active & (interference > 0.0),
+            (self.processing_gain / rate) * received / np.maximum(interference, 1e-300),
+            np.nan,
+        )
+    limited = active & (tx >= self.max_tx_power_w / overhead - 1e-12) & (
+        achieved < self.ebio_target * (1.0 - 1e-6)
+    )
+    return PowerControlResult(
+        tx_power_w=tx,
+        total_power_w=totals,
+        achieved_sir=achieved,
+        power_limited=limited,
+        iterations=iterations_done,
+    )
+
+
+def _seed_forward_solve(
+    self,
+    gains,
+    active_set,
+    active,
+    base_power_w,
+    max_traffic_power_w,
+    extra_traffic_power_w=None,
+    max_link_power_w=None,
+    rate_factor=None,
+    initial_total_power_w=None,
+):
+    from repro.cdma.powercontrol import PowerControlResult
+
+    gains = np.asarray(gains, dtype=float)
+    num_mobiles, num_cells = gains.shape
+    active_set = np.asarray(active_set, dtype=bool).reshape(num_mobiles, num_cells)
+    active = np.asarray(active, dtype=bool).reshape(num_mobiles)
+    base = np.asarray(base_power_w, dtype=float).reshape(num_cells)
+    budget = np.asarray(max_traffic_power_w, dtype=float).reshape(num_cells)
+    extra = (
+        np.zeros(num_cells)
+        if extra_traffic_power_w is None
+        else np.asarray(extra_traffic_power_w, dtype=float).reshape(num_cells)
+    )
+    rate = (
+        np.ones(num_mobiles)
+        if rate_factor is None
+        else np.asarray(rate_factor, dtype=float).reshape(num_mobiles)
+    )
+    if np.any(rate <= 0.0) or np.any(rate > 1.0):
+        raise ValueError("rate_factor entries must lie in (0, 1]")
+
+    legs = active_set.sum(axis=1)
+    legs = np.maximum(legs, 1)
+    alloc = np.zeros((num_mobiles, num_cells), dtype=float)
+    totals = base + extra
+    serving = np.argmax(np.where(active_set, gains, -np.inf), axis=1)
+    iterations_done = 0
+    q = self.ebio_target * rate / self.processing_gain
+
+    for iteration in range(self.iterations):
+        iterations_done = iteration + 1
+        received_all = gains * totals[np.newaxis, :]
+        own = received_all[np.arange(num_mobiles), serving]
+        interference = (
+            received_all.sum(axis=1)
+            - (1.0 - self.orthogonality_factor) * own
+            + self.mobile_noise_power_w
+        )
+        required_rx = q * interference
+        per_leg_rx = required_rx / legs
+        with np.errstate(divide="ignore"):
+            new_alloc = np.where(
+                active_set & active[:, np.newaxis] & (gains > 0.0),
+                per_leg_rx[:, np.newaxis] / np.maximum(gains, 1e-300),
+                0.0,
+            )
+        if max_link_power_w is not None:
+            new_alloc = np.minimum(new_alloc, max_link_power_w)
+        traffic = new_alloc.sum(axis=0) + extra
+        scale = np.where(traffic > budget, budget / np.maximum(traffic, 1e-300), 1.0)
+        new_alloc = new_alloc * scale[np.newaxis, :]
+        new_totals = base + extra + new_alloc.sum(axis=0)
+        delta = np.max(np.abs(new_totals - totals) / np.maximum(new_totals, 1e-300))
+        alloc, totals = new_alloc, new_totals
+        if delta < self.tolerance:
+            break
+
+    received_all = gains * totals[np.newaxis, :]
+    own = received_all[np.arange(num_mobiles), serving]
+    interference = (
+        received_all.sum(axis=1)
+        - (1.0 - self.orthogonality_factor) * own
+        + self.mobile_noise_power_w
+    )
+    received_fch = (alloc * gains).sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        achieved = np.where(
+            active,
+            (self.processing_gain / rate)
+            * received_fch
+            / np.maximum(interference, 1e-300),
+            np.nan,
+        )
+    limited = active & (achieved < 0.75 * self.ebio_target)
+    return PowerControlResult(
+        tx_power_w=alloc,
+        total_power_w=totals,
+        achieved_sir=achieved,
+        power_limited=limited,
+        iterations=iterations_done,
+    )
+
+
+def _seed_set_positions(self, positions):
+    positions = np.asarray(positions, dtype=float).reshape(self.num_mobiles, 2)
+    for j in range(self.num_mobiles):
+        self._distances[j, :] = self.layout.distances_to_all(positions[j])
+    self._path_gain = np.asarray(self.path_loss.gain(self._distances), dtype=float)
+    self._local_mean_cache = None
+
+
+def _seed_local_mean_gain(self):
+    return self._path_gain * 10.0 ** (self.shadowing_db() / 10.0)
+
+
+def _seed_positions(self):
+    if not self.mobiles:
+        return np.zeros((0, 2))
+    return np.vstack([m.position for m in self.mobiles])
+
+
+def _seed_advance(self, dt_s):
+    if dt_s < 0.0:
+        raise ValueError("dt_s must be non-negative")
+    moved = np.zeros(self.num_mobiles)
+    for i, mobile in enumerate(self.mobiles):
+        moved[i] = mobile.mobility.advance(dt_s)
+    positions = _seed_positions(self)
+    if self.num_mobiles > 0:
+        self.link_gains.advance(positions, moved, dt_s)
+    self._time_s += dt_s
+    self._update_handoff()
+
+
+def _seed_update_handoff(self):
+    gains = self.link_gains.local_mean_gain()
+    if gains.shape[0] == 0:
+        return
+    total_power = np.asarray(
+        [
+            bs.common_channel_power_w + self.forward_burst_power_w[bs.index]
+            for bs in self.base_stations
+        ]
+    )
+    pilot_power = np.asarray([bs.pilot_power_w for bs in self.base_stations])
+    pilots = forward_pilot_ec_io(
+        gains, total_power, pilot_power, self.config.radio.mobile_noise_power_w
+    )
+    self.handoff.update(pilots)
+
+
+def _seed_snapshot(self):
+    radio = self.config.radio
+    phy = self.config.phy
+    gains = self.link_gains.local_mean_gain()
+    num_mobiles, num_cells = gains.shape if gains.size else (0, self.num_cells)
+    active = np.asarray([m.fch_active for m in self.mobiles], dtype=bool)
+    rate_factors = np.asarray([m.fch_rate_factor for m in self.mobiles], dtype=float)
+    active_set = self.handoff.active_set_matrix(self.num_cells)
+    serving = (
+        self.handoff.serving_cells() if num_mobiles > 0 else np.zeros(0, dtype=int)
+    )
+
+    bs_common = np.asarray([bs.common_channel_power_w for bs in self.base_stations])
+    bs_budget = np.asarray([bs.max_traffic_power_w for bs in self.base_stations])
+    bs_noise = np.asarray([bs.noise_power_w for bs in self.base_stations])
+    bs_pilot = np.asarray([bs.pilot_power_w for bs in self.base_stations])
+    max_link_power = radio.fch_max_power_fraction * bs_budget.min()
+
+    reverse_result = self.reverse_pc.solve(
+        gains=gains,
+        serving_cells=serving,
+        active=active,
+        noise_power_w=bs_noise,
+        extra_received_power_w=self.reverse_burst_power_w,
+        rate_factor=rate_factors,
+    )
+    forward_result = self.forward_pc.solve(
+        gains=gains,
+        active_set=active_set,
+        active=active,
+        base_power_w=bs_common,
+        max_traffic_power_w=bs_budget,
+        extra_traffic_power_w=self.forward_burst_power_w,
+        max_link_power_w=max_link_power,
+        rate_factor=rate_factors,
+    )
+
+    forward_pilots = forward_pilot_ec_io(
+        gains, forward_result.total_power_w, bs_pilot, radio.mobile_noise_power_w
+    )
+    xi = np.asarray([m.fch_pilot_power_ratio for m in self.mobiles], dtype=float)
+    fullrate_tx = np.where(
+        active, reverse_result.tx_power_w / np.maximum(rate_factors, 1e-12), 0.0
+    )
+    mobile_pilot_tx = fullrate_tx / np.maximum(xi, 1e-12)
+    reverse_pilots = reverse_pilot_ec_io(
+        gains, mobile_pilot_tx, reverse_result.total_power_w
+    )
+
+    forward_traffic = forward_result.total_power_w - bs_common
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fullrate_fch = forward_result.tx_power_w / np.maximum(
+            rate_factors[:, np.newaxis], 1e-12
+        )
+    forward_load = ForwardLinkLoad(
+        max_traffic_power_w=bs_budget,
+        current_power_w=forward_traffic,
+        fch_power_w=fullrate_fch,
+    )
+    l_max = np.asarray([bs.max_reverse_interference_w for bs in self.base_stations])
+    reverse_load = ReverseLinkLoad(
+        max_interference_w=l_max,
+        current_interference_w=reverse_result.total_power_w,
+        reverse_pilot_strength=reverse_pilots,
+        forward_pilot_strength=forward_pilots,
+        fch_pilot_power_ratio=xi,
+    )
+
+    target = radio.fch_ebio_target
+    with np.errstate(invalid="ignore"):
+        fwd_quality = np.clip(
+            np.nan_to_num(forward_result.achieved_sir / target, nan=1.0), 0.0, 1.0
+        )
+        rev_quality = np.clip(
+            np.nan_to_num(reverse_result.achieved_sir / target, nan=1.0), 0.0, 1.0
+        )
+    sch_csi_forward = phy.sch_reference_csi * fwd_quality
+    sch_csi_reverse = phy.sch_reference_csi * rev_quality
+
+    return NetworkSnapshot(
+        time_s=self._time_s,
+        gains=gains,
+        forward_load=forward_load,
+        reverse_load=reverse_load,
+        handoff_states=self.handoff.states,
+        serving_cells=serving,
+        sch_mean_csi_forward=sch_csi_forward,
+        sch_mean_csi_reverse=sch_csi_reverse,
+        forward_pc=forward_result,
+        reverse_pc=reverse_result,
+    )
+
+
+def make_seed_baseline(net: CdmaNetwork) -> CdmaNetwork:
+    """Monkey-patch a network instance back to the seed frame pipeline."""
+    net.link_gains.set_positions = types.MethodType(
+        _seed_set_positions, net.link_gains
+    )
+    net.link_gains.local_mean_gain = types.MethodType(
+        _seed_local_mean_gain, net.link_gains
+    )
+    net.advance = types.MethodType(_seed_advance, net)
+    net._update_handoff = types.MethodType(_seed_update_handoff, net)
+    net.snapshot = types.MethodType(_seed_snapshot, net)
+    net.reverse_pc.solve = types.MethodType(_seed_reverse_solve, net.reverse_pc)
+    net.forward_pc.solve = types.MethodType(_seed_forward_solve, net.forward_pc)
+    # Replace the vectorised hand-off controller with the seed's Python-loop
+    # one and rebuild its state from the current (t=0) pilots — the resulting
+    # active sets are identical, since both derive from the same measurement.
+    net.handoff = _SeedHandoffController(net.handoff)
+    net._update_handoff()
+    return net
+
+
+# --------------------------------------------------------------------------
+# measurement and parity
+# --------------------------------------------------------------------------
+def measure(net: CdmaNetwork, frames: int, dt_s: float, warmup: int) -> Dict:
+    """Time ``net.step`` over ``frames`` frames; returns the trajectory."""
+    for _ in range(warmup):
+        net.step(dt_s)
+    ms_per_frame = _time_frames(net, frames, dt_s)
+    return _summarise(ms_per_frame)
+
+
+def _time_frames(net: CdmaNetwork, frames: int, dt_s: float) -> List[float]:
+    ms_per_frame = []
+    for _ in range(frames):
+        t0 = time.perf_counter()
+        net.step(dt_s)
+        ms_per_frame.append(1000.0 * (time.perf_counter() - t0))
+    return ms_per_frame
+
+
+def _summarise(ms_per_frame: List[float]) -> Dict:
+    total_s = sum(ms_per_frame) / 1000.0
+    frames = len(ms_per_frame)
+    return {
+        "frames": frames,
+        "frames_per_s": frames / total_s,
+        "mean_ms_per_frame": total_s * 1000.0 / frames,
+        "ms_per_frame": [round(v, 4) for v in ms_per_frame],
+    }
+
+
+def measure_interleaved(
+    nets: Dict[str, CdmaNetwork],
+    frames: int,
+    dt_s: float,
+    warmup: int,
+    chunk: int = 10,
+) -> Dict[str, Dict]:
+    """Time several pipelines in round-robin chunks.
+
+    Interleaving spreads CPU frequency/thermal drift evenly over the
+    contenders instead of penalising whichever happens to run last.
+    """
+    for net in nets.values():
+        for _ in range(warmup):
+            net.step(dt_s)
+    trajectories: Dict[str, List[float]] = {name: [] for name in nets}
+    done = 0
+    while done < frames:
+        batch = min(chunk, frames - done)
+        for name, net in nets.items():
+            trajectories[name].extend(_time_frames(net, batch, dt_s))
+        done += batch
+    return {name: _summarise(ms) for name, ms in trajectories.items()}
+
+
+def _snapshot_arrays(snapshot: NetworkSnapshot) -> Dict[str, np.ndarray]:
+    pad = max((len(s.active_set) for s in snapshot.handoff_states), default=1)
+    active_sets = np.asarray(
+        [
+            tuple(s.active_set) + (-1,) * (pad - len(s.active_set))
+            for s in snapshot.handoff_states
+        ]
+    )
+    return {
+        "gains": snapshot.gains,
+        "serving_cells": snapshot.serving_cells,
+        "active_sets": active_sets,
+        "forward_tx": snapshot.forward_pc.tx_power_w,
+        "forward_total": snapshot.forward_pc.total_power_w,
+        "forward_sir": snapshot.forward_pc.achieved_sir,
+        "forward_limited": snapshot.forward_pc.power_limited,
+        "reverse_tx": snapshot.reverse_pc.tx_power_w,
+        "reverse_total": snapshot.reverse_pc.total_power_w,
+        "reverse_sir": snapshot.reverse_pc.achieved_sir,
+        "reverse_limited": snapshot.reverse_pc.power_limited,
+        "sch_csi_forward": snapshot.sch_mean_csi_forward,
+        "sch_csi_reverse": snapshot.sch_mean_csi_reverse,
+        "reverse_pilots": snapshot.reverse_load.reverse_pilot_strength,
+        "forward_pilots": snapshot.reverse_load.forward_pilot_strength,
+    }
+
+
+def check_parity(num_mobiles: int, num_rings: int, frames: int, dt_s: float, seed: int) -> Dict:
+    """Verify the acceptance numerics.
+
+    * cold-start optimized pipeline vs the seed transcription: bit-identical;
+    * warm-started vs cold-start pipeline: ≤ 1e-6 relative, checked with the
+      solvers run to a tight fixed-point tolerance so the comparison is not
+      dominated by the (seed-inherited) successive-delta truncation error.
+    """
+    baseline = make_seed_baseline(build_network(num_mobiles, num_rings, seed))
+    cold = build_network(num_mobiles, num_rings, seed)
+    bit_identical = True
+    mismatch = None
+    for _ in range(frames):
+        a = _snapshot_arrays(baseline.step(dt_s))
+        b = _snapshot_arrays(cold.step(dt_s))
+        for key in a:
+            if not np.array_equal(a[key], b[key], equal_nan=True):
+                bit_identical = False
+                mismatch = key
+                break
+        if not bit_identical:
+            break
+
+    tight = dict(iterations=400, tolerance=1e-10)
+    cold_tight = build_network(num_mobiles, num_rings, seed, **tight)
+    warm_tight = build_network(num_mobiles, num_rings, seed, warm_start=True, **tight)
+    max_rel_err = 0.0
+    for _ in range(frames):
+        a = _snapshot_arrays(cold_tight.step(dt_s))
+        b = _snapshot_arrays(warm_tight.step(dt_s))
+        for key in a:
+            x = a[key].astype(float)
+            y = b[key].astype(float)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                rel = np.abs(y - x) / np.maximum(np.abs(x), 1e-300)
+            rel = rel[np.isfinite(rel)]
+            if rel.size:
+                max_rel_err = max(max_rel_err, float(rel.max()))
+    return {
+        "cold_bit_identical": bit_identical,
+        "first_mismatch": mismatch,
+        "warm_vs_cold_max_rel_err": max_rel_err,
+        "warm_tolerance": 1e-6,
+        "warm_tolerance_pass": max_rel_err <= 1e-6,
+        "warm_check_solver_tolerance": tight["tolerance"],
+    }
+
+
+def run_bench(
+    num_mobiles: int = 200,
+    num_rings: int = 2,
+    frames: int = 60,
+    parity_frames: int = 10,
+    dt_s: float = 0.02,
+    warmup: int = 5,
+    seed: int = 0,
+) -> Dict:
+    """Run the full benchmark and return the report dictionary."""
+    num_cells = HexagonalCellLayout(num_rings=num_rings).num_cells
+    report = {
+        "benchmark": "t4_frame_rate",
+        "config": {
+            "num_mobiles": num_mobiles,
+            "num_cells": num_cells,
+            "num_rings": num_rings,
+            "frames": frames,
+            "parity_frames": parity_frames,
+            "dt_s": dt_s,
+            "warmup_frames": warmup,
+            "seed": seed,
+        },
+        "results": {},
+    }
+
+    nets = {
+        "seed_baseline": make_seed_baseline(
+            build_network(num_mobiles, num_rings, seed)
+        ),
+        "optimized_cold": build_network(num_mobiles, num_rings, seed),
+        "optimized_warm": build_network(
+            num_mobiles, num_rings, seed, warm_start=True
+        ),
+    }
+    report["results"] = measure_interleaved(nets, frames, dt_s, warmup)
+
+    base = report["results"]["seed_baseline"]["frames_per_s"]
+    report["speedup"] = {
+        name: report["results"][name]["frames_per_s"] / base
+        for name in ("optimized_cold", "optimized_warm")
+    }
+    report["parity"] = check_parity(num_mobiles, num_rings, parity_frames, dt_s, seed)
+    return report
+
+
+def format_table(report: Dict) -> str:
+    config = report["config"]
+    lines = [
+        f"T4 frame rate — J={config['num_mobiles']} mobiles, "
+        f"K={config['num_cells']} cells, {config['frames']} frames",
+        f"{'pipeline':<18} {'frames/s':>10} {'ms/frame':>10} {'speedup':>9}",
+    ]
+    base = report["results"]["seed_baseline"]["frames_per_s"]
+    for name, result in report["results"].items():
+        speedup = result["frames_per_s"] / base
+        lines.append(
+            f"{name:<18} {result['frames_per_s']:>10.1f} "
+            f"{result['mean_ms_per_frame']:>10.2f} {speedup:>8.2f}x"
+        )
+    parity = report["parity"]
+    lines.append(
+        f"parity: cold bit-identical={parity['cold_bit_identical']}  "
+        f"warm max rel err={parity['warm_vs_cold_max_rel_err']:.2e} "
+        f"(<= {parity['warm_tolerance']:.0e}: {parity['warm_tolerance_pass']})"
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# entry points
+# --------------------------------------------------------------------------
+def test_t4_frame_rate(benchmark, show):
+    """Smoke-scale run: parity is asserted, timing is reported only."""
+    report = benchmark.pedantic(
+        lambda: run_bench(num_mobiles=40, num_rings=1, frames=10, parity_frames=5),
+        rounds=1,
+        iterations=1,
+    )
+    show(format_table(report))
+    assert report["parity"]["cold_bit_identical"]
+    assert report["parity"]["warm_tolerance_pass"]
+    assert report["speedup"]["optimized_warm"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--mobiles", type=int, default=200, help="J (default 200)")
+    parser.add_argument(
+        "--rings", type=int, default=2, help="cell rings (2 -> K=19 cells)"
+    )
+    parser.add_argument("--frames", type=int, default=60)
+    parser.add_argument("--parity-frames", type=int, default=10)
+    parser.add_argument("--dt", type=float, default=0.02, help="frame duration (s)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny run for CI (J=40, K=7, 10 frames)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+    if args.mobiles < 0:
+        parser.error("--mobiles must be non-negative")
+    if args.frames < 1 or args.parity_frames < 1:
+        parser.error("--frames and --parity-frames must be at least 1")
+    if args.rings < 0:
+        parser.error("--rings must be non-negative")
+    if args.dt <= 0.0:
+        parser.error("--dt must be positive")
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+
+    if args.smoke:
+        report = run_bench(
+            num_mobiles=40, num_rings=1, frames=10, parity_frames=5, seed=args.seed
+        )
+    else:
+        report = run_bench(
+            num_mobiles=args.mobiles,
+            num_rings=args.rings,
+            frames=args.frames,
+            parity_frames=args.parity_frames,
+            dt_s=args.dt,
+            seed=args.seed,
+        )
+    print(format_table(report))
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+    if not report["parity"]["cold_bit_identical"]:
+        return 1
+    if not report["parity"]["warm_tolerance_pass"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

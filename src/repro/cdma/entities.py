@@ -124,6 +124,34 @@ class MobileStation:
         if not 0.0 < self.fch_rate_factor <= 1.0:
             raise ValueError("fch_rate_factor must lie in (0, 1]")
 
+    def __setattr__(self, name: str, value) -> None:
+        # Plain attribute assignment stays the public API for toggling FCH
+        # activity (voice on/off model, MAC state machine), but consumers
+        # that keep the population in structure-of-arrays form (the radio
+        # network) must see those toggles without re-scanning every mobile
+        # per frame — so FCH field writes are pushed to registered observers.
+        object.__setattr__(self, name, value)
+        if name == "fch_active" or name == "fch_rate_factor":
+            observers = self.__dict__.get("_fch_observers")
+            if observers:
+                results = [callback(self) for callback in observers]
+                if False in results:
+                    # Prune observers of garbage-collected networks so long
+                    # ablation sweeps reusing mobiles don't accumulate them.
+                    observers[:] = [
+                        cb
+                        for cb, alive in zip(observers, results)
+                        if alive is not False
+                    ]
+
+    def _add_fch_observer(self, callback) -> None:
+        """Register an FCH-write observer.
+
+        ``callback(mobile)`` fires on every FCH field write; a callback
+        returning ``False`` signals its consumer is gone and is pruned.
+        """
+        self.__dict__.setdefault("_fch_observers", []).append(callback)
+
     @property
     def position(self) -> np.ndarray:
         """Current position (m)."""

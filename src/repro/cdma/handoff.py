@@ -6,17 +6,24 @@ footnote 4 explains that the high-power SCH uses a *reduced active set*: "the
 set of the 2 base stations with the strongest pilot Ec/Io and is a subset of
 the active set of FCH".  The reduced-active-set size is configurable here so
 experiment T3 can ablate it.
+
+The controller keeps its state in structure-of-arrays form — one ``(J,
+max_active_set_size)`` matrix of cell indices ordered by pilot strength
+(padded with ``-1``) — so the per-frame update is a handful of array kernels
+instead of a Python loop over mobiles.  The per-mobile
+:class:`ActiveSetState` views consumed by the measurement sub-layer are
+materialised lazily and cached between updates.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import constants
-from repro.utils.units import linear_to_db
 
 __all__ = ["ActiveSetState", "SoftHandoffController"]
 
@@ -43,6 +50,47 @@ class ActiveSetState:
     def in_soft_handoff(self) -> bool:
         """True when more than one cell is in the active set."""
         return len(self.active_set) > 1
+
+
+class _LazyActiveSetStates(SequenceABC):
+    """Read-only sequence materialising :class:`ActiveSetState` on demand.
+
+    A network snapshot is taken every frame, but the per-mobile state
+    objects are only consumed for the handful of users with pending burst
+    requests — so the ``(J,)`` Python-object views are built lazily from
+    the controller's index matrix (which is replaced, never mutated, on
+    update, making the captured arrays a stable snapshot).
+    """
+
+    __slots__ = ("_ordered", "_count", "_reduced", "_cache")
+
+    def __init__(self, ordered: np.ndarray, count: np.ndarray, reduced: int) -> None:
+        self._ordered = ordered
+        self._count = count
+        self._reduced = reduced
+        self._cache: dict = {}
+
+    def __len__(self) -> int:
+        return self._ordered.shape[0]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("mobile index out of range")
+        state = self._cache.get(index)
+        if state is None:
+            members = [int(k) for k in self._ordered[index, : self._count[index]]]
+            state = ActiveSetState(
+                active_set=members,
+                reduced_active_set=members[: self._reduced],
+                serving_cell=members[0] if members else 0,
+            )
+            self._cache[index] = state
+        return state
 
 
 class SoftHandoffController:
@@ -85,20 +133,34 @@ class SoftHandoffController:
         self.drop_threshold_db = float(drop_threshold_db)
         self.max_active_set_size = int(max_active_set_size)
         self.reduced_active_set_size = int(reduced_active_set_size)
-        self._states: List[ActiveSetState] = [
-            ActiveSetState() for _ in range(self.num_mobiles)
-        ]
+        # Ordered active-set members (strongest pilot first), -1 padded.
+        self._ordered = np.full(
+            (self.num_mobiles, self.max_active_set_size), -1, dtype=np.int64
+        )
+        self._count = np.zeros(self.num_mobiles, dtype=np.int64)
+        self._states_cache: Optional[_LazyActiveSetStates] = None
+        self._active_matrix_cache: Optional[Tuple[int, np.ndarray]] = None
+        self._reduced_matrix_cache: Optional[Tuple[int, np.ndarray]] = None
         #: Count of hand-off events (active-set changes), for reporting.
         self.handoff_events = 0
 
+    def _invalidate_caches(self) -> None:
+        self._states_cache = None
+        self._active_matrix_cache = None
+        self._reduced_matrix_cache = None
+
     def state(self, mobile_index: int) -> ActiveSetState:
         """Hand-off state of mobile ``mobile_index``."""
-        return self._states[mobile_index]
+        return self.states[mobile_index]
 
     @property
     def states(self) -> Sequence[ActiveSetState]:
-        """All hand-off states (index = mobile index)."""
-        return tuple(self._states)
+        """All hand-off states (index = mobile index), materialised lazily."""
+        if self._states_cache is None:
+            self._states_cache = _LazyActiveSetStates(
+                self._ordered, self._count, self.reduced_active_set_size
+            )
+        return self._states_cache
 
     def update(self, pilot_ec_io: np.ndarray) -> None:
         """Update every mobile's active set from pilot measurements.
@@ -111,57 +173,77 @@ class SoftHandoffController:
         pilots = np.asarray(pilot_ec_io, dtype=float)
         if pilots.shape[0] != self.num_mobiles:
             raise ValueError("pilot matrix has the wrong number of mobiles")
+        if self.num_mobiles == 0:
+            return
+        num_cells = pilots.shape[1]
         add_lin = 10.0 ** (self.add_threshold_db / 10.0)
         drop_lin = 10.0 ** (self.drop_threshold_db / 10.0)
 
-        for j in range(self.num_mobiles):
-            row = pilots[j]
-            state = self._states[j]
-            previous = list(state.active_set)
-            # Keep current members above the drop threshold.
-            retained = [k for k in state.active_set if row[k] >= drop_lin]
-            # Candidates above the add threshold, strongest first.
-            order = np.argsort(row)[::-1]
-            for k in order:
-                k = int(k)
-                if row[k] < add_lin:
-                    break
-                if k not in retained:
-                    retained.append(k)
-            if not retained:
-                # Always keep at least the strongest cell so the mobile stays
-                # connected even in a coverage hole (it will be in outage, but
-                # the bookkeeping remains well-defined).
-                retained = [int(order[0])]
-            # Sort by pilot strength and truncate to the maximum size.
-            retained.sort(key=lambda cell: -row[cell])
-            retained = retained[: self.max_active_set_size]
-            state.active_set = retained
-            state.reduced_active_set = retained[: self.reduced_active_set_size]
-            state.serving_cell = retained[0]
-            if retained != previous:
-                self.handoff_events += 1
+        # A cell stays in the set while above the drop threshold and joins
+        # when above the add threshold; the strongest cell is always kept so
+        # the mobile stays connected even in a coverage hole (it will be in
+        # outage, but the bookkeeping remains well-defined).
+        member = self.active_set_matrix(num_cells)
+        eligible = (member & (pilots >= drop_lin)) | (pilots >= add_lin)
+        strongest = np.argmax(pilots, axis=1)
+        orphaned = ~eligible.any(axis=1)
+        if np.any(orphaned):
+            eligible[orphaned, strongest[orphaned]] = True
+
+        # Rank eligible cells by current pilot strength and keep the top
+        # max_active_set_size of them, -1 padded.  Matches the per-mobile
+        # reference loop for continuous pilot values; on *exactly* tied
+        # pilots (measure zero under shadowing) ties resolve by lowest cell
+        # index, where the reference loop's ordering was itself unspecified.
+        score = np.where(eligible, pilots, -np.inf)
+        width = min(self.max_active_set_size, num_cells)
+        top = np.argsort(-score, axis=1, kind="stable")[:, :width]
+        counts = np.minimum(eligible.sum(axis=1), self.max_active_set_size)
+        new_ordered = np.full_like(self._ordered, -1)
+        slots = np.arange(width)[np.newaxis, :]
+        new_ordered[:, :width] = np.where(slots < counts[:, np.newaxis], top, -1)
+
+        changed = (new_ordered != self._ordered).any(axis=1)
+        self.handoff_events += int(np.count_nonzero(changed))
+        self._ordered = new_ordered
+        self._count = counts
+        self._invalidate_caches()
 
     def active_set_matrix(self, num_cells: int) -> np.ndarray:
         """Boolean matrix ``(num_mobiles, num_cells)`` of FCH active-set membership."""
-        out = np.zeros((self.num_mobiles, num_cells), dtype=bool)
-        for j, state in enumerate(self._states):
-            out[j, state.active_set] = True
+        cache = self._active_matrix_cache
+        if cache is not None and cache[0] == num_cells:
+            return cache[1]
+        out = self._scatter_membership(self._ordered, num_cells)
+        self._active_matrix_cache = (num_cells, out)
         return out
 
     def reduced_active_set_matrix(self, num_cells: int) -> np.ndarray:
         """Boolean matrix of *reduced* active-set membership (SCH legs)."""
-        out = np.zeros((self.num_mobiles, num_cells), dtype=bool)
-        for j, state in enumerate(self._states):
-            out[j, state.reduced_active_set] = True
+        cache = self._reduced_matrix_cache
+        if cache is not None and cache[0] == num_cells:
+            return cache[1]
+        out = self._scatter_membership(
+            self._ordered[:, : self.reduced_active_set_size], num_cells
+        )
+        self._reduced_matrix_cache = (num_cells, out)
+        return out
+
+    @staticmethod
+    def _scatter_membership(ordered: np.ndarray, num_cells: int) -> np.ndarray:
+        out = np.zeros((ordered.shape[0], num_cells), dtype=bool)
+        rows, slots = np.nonzero(ordered >= 0)
+        out[rows, ordered[rows, slots]] = True
+        # The matrix is cached and shared between per-frame consumers.
+        out.flags.writeable = False
         return out
 
     def serving_cells(self) -> np.ndarray:
         """Serving (strongest-pilot) cell of each mobile."""
-        return np.asarray([s.serving_cell for s in self._states], dtype=int)
+        return np.where(self._count > 0, self._ordered[:, 0], 0).astype(int)
 
     def soft_handoff_fraction(self) -> float:
         """Fraction of mobiles currently in soft hand-off."""
-        if not self._states:
+        if self.num_mobiles == 0:
             return 0.0
-        return float(np.mean([s.in_soft_handoff for s in self._states]))
+        return float(np.mean(self._count > 1))

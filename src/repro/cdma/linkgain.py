@@ -92,14 +92,24 @@ class LinkGainMap:
         )
         self._path_gain = np.ones(shape, dtype=float)
         self._distances = np.ones(shape, dtype=float)
+        # Per-frame cache of the local-mean gain matrix: building it involves
+        # a 10**(dB/10) over (J, K), and both the hand-off update and the
+        # power-control snapshot need it every frame.  Invalidated whenever
+        # positions or shadowing change; the count is exposed so regression
+        # tests can assert one build per frame.
+        self._local_mean_cache: Optional[np.ndarray] = None
+        self.local_mean_builds = 0
+        # Doppler correlation cache (j0 is re-evaluated only when dt changes).
+        self._rho_cache: Optional[tuple] = None
 
     # -- state updates ------------------------------------------------------------
     def set_positions(self, positions: np.ndarray) -> None:
         """Recompute path gains for the given mobile ``positions`` (no fading update)."""
         positions = np.asarray(positions, dtype=float).reshape(self.num_mobiles, 2)
-        for j in range(self.num_mobiles):
-            self._distances[j, :] = self.layout.distances_to_all(positions[j])
+        if self.num_mobiles > 0:
+            np.copyto(self._distances, self.layout.distances_to_all_batch(positions))
         self._path_gain = np.asarray(self.path_loss.gain(self._distances), dtype=float)
+        self._local_mean_cache = None
 
     def advance(
         self, positions: np.ndarray, moved_m: np.ndarray, dt_s: float
@@ -130,12 +140,18 @@ class LinkGainMap:
             self._site_shadow = a * self._site_shadow + innovation_scale * (
                 self._rng.normal(0.0, 1.0, size=(self.num_mobiles, self.num_cells))
             )
+            self._local_mean_cache = None
 
         if self.doppler_hz > 0.0 and dt_s > 0.0 and self.num_mobiles > 0:
-            from scipy import special
+            rho_key = (dt_s, self.doppler_hz)
+            if self._rho_cache is not None and self._rho_cache[0] == rho_key:
+                rho = self._rho_cache[1]
+            else:
+                from scipy import special
 
-            rho = float(special.j0(2.0 * math.pi * self.doppler_hz * dt_s))
-            rho = min(max(rho, 0.0), 1.0)
+                rho = float(special.j0(2.0 * math.pi * self.doppler_hz * dt_s))
+                rho = min(max(rho, 0.0), 1.0)
+                self._rho_cache = (rho_key, rho)
             scale = math.sqrt(0.5)
             shape = (self.num_mobiles, self.num_cells)
             w = self._rng.normal(scale=scale, size=shape) + 1j * self._rng.normal(
@@ -160,8 +176,18 @@ class LinkGainMap:
         return self.shadowing_std_db * combined
 
     def local_mean_gain(self) -> np.ndarray:
-        """Path loss × shadowing gains (linear), shape ``(num_mobiles, num_cells)``."""
-        return self._path_gain * 10.0 ** (self.shadowing_db() / 10.0)
+        """Path loss × shadowing gains (linear), shape ``(num_mobiles, num_cells)``.
+
+        The matrix is cached until the next :meth:`set_positions` /
+        :meth:`advance` and returned read-only (every per-frame consumer —
+        hand-off, power control, measurements — shares one build).
+        """
+        if self._local_mean_cache is None:
+            gain = self._path_gain * 10.0 ** (self.shadowing_db() / 10.0)
+            gain.flags.writeable = False
+            self._local_mean_cache = gain
+            self.local_mean_builds += 1
+        return self._local_mean_cache
 
     def fading_power(self) -> np.ndarray:
         """Fast-fading power gains ``|h|^2`` (unit mean), same shape."""

@@ -10,6 +10,7 @@ layer needs (Figure 2 of the paper).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,6 +29,7 @@ from repro.cdma.powercontrol import (
 from repro.channel.pathloss import LogDistancePathLoss
 from repro.config import SystemConfig
 from repro.geometry.hexgrid import HexagonalCellLayout
+from repro.geometry.mobility import MobilityBatch
 
 __all__ = ["CdmaNetwork", "NetworkSnapshot"]
 
@@ -99,6 +101,20 @@ class CdmaNetwork:
         Random generator for the propagation processes.
     layout:
         Optional pre-built cell layout (built from ``config`` when omitted).
+    warm_start_power_control:
+        Seed each frame's forward/reverse power-control fixed point with the
+        previous frame's solution.  On quasi-static frames this cuts the
+        Yates iterations substantially; the solution agrees with a cold
+        start to within the solver tolerance (cold start stays the default
+        so snapshot numerics are reproducible bit-for-bit across versions).
+
+    Notes
+    -----
+    Per-frame state is kept in structure-of-arrays form: static per-cell
+    vectors (common/pilot/noise power, traffic budget) are precomputed once,
+    and the per-mobile FCH activity/rate arrays are maintained in place via
+    write-through from :class:`MobileStation` attribute assignments, so a
+    ``snapshot()`` never re-scans the Python entity objects.
     """
 
     def __init__(
@@ -107,6 +123,7 @@ class CdmaNetwork:
         mobiles: Sequence[MobileStation],
         rng: np.random.Generator,
         layout: Optional[HexagonalCellLayout] = None,
+        warm_start_power_control: bool = False,
     ) -> None:
         self.config = config
         radio = config.radio
@@ -160,6 +177,7 @@ class CdmaNetwork:
             pilot_overhead=radio.reverse_pilot_overhead,
             max_tx_power_w=radio.ms_max_tx_power_w,
             iterations=radio.power_control_iterations,
+            tolerance=radio.power_control_tolerance,
         )
         self.forward_pc = ForwardLinkPowerControl(
             processing_gain=radio.fch_processing_gain,
@@ -167,16 +185,90 @@ class CdmaNetwork:
             orthogonality_factor=radio.orthogonality_factor,
             mobile_noise_power_w=radio.mobile_noise_power_w,
             iterations=radio.power_control_iterations,
+            tolerance=radio.power_control_tolerance,
         )
         #: Committed SCH burst transmit power per cell (forward link), watts.
         self.forward_burst_power_w = np.zeros(self.num_cells)
         #: Committed SCH burst received power per cell (reverse link), watts.
         self.reverse_burst_power_w = np.zeros(self.num_cells)
 
+        # -- structure-of-arrays state ------------------------------------------
+        # Static per-cell vectors (base-station parameters never change after
+        # construction): computed once instead of one list comprehension per
+        # frame.
+        bs = self.base_stations
+        self._bs_common_power_w = np.asarray([b.common_channel_power_w for b in bs])
+        self._bs_pilot_power_w = np.asarray([b.pilot_power_w for b in bs])
+        self._bs_noise_power_w = np.asarray([b.noise_power_w for b in bs])
+        self._bs_traffic_budget_w = np.asarray([b.max_traffic_power_w for b in bs])
+        self._bs_max_reverse_interference_w = np.asarray(
+            [b.max_reverse_interference_w for b in bs]
+        )
+        self._max_link_power_w = (
+            radio.fch_max_power_fraction * self._bs_traffic_budget_w.min()
+        )
+        self._mobile_noise_power_w = radio.mobile_noise_power_w
+
+        # Static per-mobile vectors.
+        self._xi = np.asarray(
+            [m.fch_pilot_power_ratio for m in self.mobiles], dtype=float
+        )
+        self._data_indices = np.asarray(
+            [m.index for m in self.mobiles if m.user_class is UserClass.DATA],
+            dtype=int,
+        )
+        self._voice_indices = np.asarray(
+            [m.index for m in self.mobiles if m.user_class is UserClass.VOICE],
+            dtype=int,
+        )
+        self._data_indices.flags.writeable = False
+        self._voice_indices.flags.writeable = False
+
+        # Dynamic per-mobile arrays, updated in place: FCH activity/rate via
+        # write-through observers, positions by the batched mobility advance.
+        num_mobiles = len(self.mobiles)
+        self._fch_active = np.asarray(
+            [m.fch_active for m in self.mobiles], dtype=bool
+        ).reshape(num_mobiles)
+        self._fch_rate = np.asarray(
+            [m.fch_rate_factor for m in self.mobiles], dtype=float
+        ).reshape(num_mobiles)
+        for row, mobile in enumerate(self.mobiles):
+            mobile._add_fch_observer(self._make_fch_sync(row))
+        self._mobility_batch = MobilityBatch(
+            [m.mobility for m in self.mobiles],
+            positions_out=np.zeros((num_mobiles, 2)),
+        )
+        self._positions_arr = self._mobility_batch.positions
+        self._moved_buf = np.zeros(num_mobiles)
+
+        # Warm-start state for the power-control solvers.
+        self.warm_start_power_control = bool(warm_start_power_control)
+        self._prev_forward_totals: Optional[np.ndarray] = None
+        self._prev_reverse_totals: Optional[np.ndarray] = None
+
         self._time_s = 0.0
         # Initialise positions/gains and hand-off from the starting locations.
-        self.link_gains.set_positions(self._positions())
+        self.link_gains.set_positions(self._positions_arr)
         self._update_handoff()
+
+    def _make_fch_sync(self, row: int):
+        """Observer syncing one mobile's FCH fields into the network arrays.
+
+        Holds only a weak reference to the network so mobiles reused across
+        several networks (ablation sweeps) do not keep old instances alive.
+        """
+        net_ref = weakref.ref(self)
+
+        def _sync(mobile: MobileStation, _row: int = row) -> bool:
+            net = net_ref()
+            if net is None:
+                return False  # network collected: ask the mobile to prune us
+            net._fch_active[_row] = mobile.fch_active
+            net._fch_rate[_row] = mobile.fch_rate_factor
+            return True
+
+        return _sync
 
     # -- basic accessors ---------------------------------------------------------
     @property
@@ -195,41 +287,29 @@ class CdmaNetwork:
         return self._time_s
 
     def data_mobile_indices(self) -> np.ndarray:
-        """Indices of the high-speed data users."""
-        return np.asarray(
-            [m.index for m in self.mobiles if m.user_class is UserClass.DATA], dtype=int
-        )
+        """Indices of the high-speed data users (cached; user classes are fixed)."""
+        return self._data_indices
 
     def voice_mobile_indices(self) -> np.ndarray:
-        """Indices of the voice users."""
-        return np.asarray(
-            [m.index for m in self.mobiles if m.user_class is UserClass.VOICE], dtype=int
-        )
+        """Indices of the voice users (cached; user classes are fixed)."""
+        return self._voice_indices
 
     def _positions(self) -> np.ndarray:
-        if not self.mobiles:
-            return np.zeros((0, 2))
-        return np.vstack([m.position for m in self.mobiles])
+        return self._positions_arr
 
     def _fch_active_mask(self) -> np.ndarray:
-        return np.asarray([m.fch_active for m in self.mobiles], dtype=bool)
+        return self._fch_active
 
     def _fch_rate_factors(self) -> np.ndarray:
-        return np.asarray([m.fch_rate_factor for m in self.mobiles], dtype=float)
+        return self._fch_rate
 
     def _update_handoff(self) -> None:
         gains = self.link_gains.local_mean_gain()
         if gains.shape[0] == 0:
             return
-        total_power = np.asarray(
-            [
-                bs.common_channel_power_w + self.forward_burst_power_w[bs.index]
-                for bs in self.base_stations
-            ]
-        )
-        pilot_power = np.asarray([bs.pilot_power_w for bs in self.base_stations])
+        total_power = self._bs_common_power_w + self.forward_burst_power_w
         pilots = forward_pilot_ec_io(
-            gains, total_power, pilot_power, self.config.radio.mobile_noise_power_w
+            gains, total_power, self._bs_pilot_power_w, self._mobile_noise_power_w
         )
         self.handoff.update(pilots)
 
@@ -243,12 +323,9 @@ class CdmaNetwork:
         """
         if dt_s < 0.0:
             raise ValueError("dt_s must be non-negative")
-        moved = np.zeros(self.num_mobiles)
-        for i, mobile in enumerate(self.mobiles):
-            moved[i] = mobile.mobility.advance(dt_s)
-        positions = self._positions()
+        self._mobility_batch.advance(dt_s, out_moved=self._moved_buf)
         if self.num_mobiles > 0:
-            self.link_gains.advance(positions, moved, dt_s)
+            self.link_gains.advance(self._positions_arr, self._moved_buf, dt_s)
         self._time_s += dt_s
         self._update_handoff()
 
@@ -267,8 +344,8 @@ class CdmaNetwork:
         phy = self.config.phy
         gains = self.link_gains.local_mean_gain()
         num_mobiles, num_cells = gains.shape if gains.size else (0, self.num_cells)
-        active = self._fch_active_mask()
-        rate_factors = self._fch_rate_factors()
+        active = self._fch_active
+        rate_factors = self._fch_rate
         active_set = self.handoff.active_set_matrix(self.num_cells)
         serving = (
             self.handoff.serving_cells()
@@ -276,11 +353,12 @@ class CdmaNetwork:
             else np.zeros(0, dtype=int)
         )
 
-        bs_common = np.asarray([bs.common_channel_power_w for bs in self.base_stations])
-        bs_budget = np.asarray([bs.max_traffic_power_w for bs in self.base_stations])
-        bs_noise = np.asarray([bs.noise_power_w for bs in self.base_stations])
-        bs_pilot = np.asarray([bs.pilot_power_w for bs in self.base_stations])
-        max_link_power = radio.fch_max_power_fraction * bs_budget.min()
+        bs_common = self._bs_common_power_w
+        bs_budget = self._bs_traffic_budget_w
+        bs_noise = self._bs_noise_power_w
+        bs_pilot = self._bs_pilot_power_w
+        max_link_power = self._max_link_power_w
+        warm = self.warm_start_power_control
 
         # -- reverse link FCH power control -------------------------------------
         reverse_result = self.reverse_pc.solve(
@@ -290,6 +368,7 @@ class CdmaNetwork:
             noise_power_w=bs_noise,
             extra_received_power_w=self.reverse_burst_power_w,
             rate_factor=rate_factors,
+            initial_total_power_w=self._prev_reverse_totals if warm else None,
         )
         # -- forward link FCH power control -------------------------------------
         forward_result = self.forward_pc.solve(
@@ -301,16 +380,20 @@ class CdmaNetwork:
             extra_traffic_power_w=self.forward_burst_power_w,
             max_link_power_w=max_link_power,
             rate_factor=rate_factors,
+            initial_total_power_w=self._prev_forward_totals if warm else None,
         )
+        if warm:
+            self._prev_reverse_totals = reverse_result.total_power_w.copy()
+            self._prev_forward_totals = forward_result.total_power_w.copy()
 
         # -- pilot measurements ----------------------------------------------------
         forward_pilots = forward_pilot_ec_io(
             gains,
             forward_result.total_power_w,
             bs_pilot,
-            radio.mobile_noise_power_w,
+            self._mobile_noise_power_w,
         )
-        xi = np.asarray([m.fch_pilot_power_ratio for m in self.mobiles], dtype=float)
+        xi = self._xi
         # The reverse pilot tracks the channel the way a *full-rate* FCH
         # would, so the burst measurements (eq. (10)) reconstruct the
         # full-rate FCH power from it regardless of the rate of the channel
@@ -338,9 +421,7 @@ class CdmaNetwork:
             current_power_w=forward_traffic,
             fch_power_w=fullrate_fch,
         )
-        l_max = np.asarray(
-            [bs.max_reverse_interference_w for bs in self.base_stations]
-        )
+        l_max = self._bs_max_reverse_interference_w
         reverse_load = ReverseLinkLoad(
             max_interference_w=l_max,
             current_interference_w=reverse_result.total_power_w,

@@ -127,6 +127,9 @@ class RadioConfig:
 
     #: Power-control iteration count per frame.
     power_control_iterations: int = 25
+    #: Power-control fixed-point stopping tolerance (max relative change of
+    #: the per-cell totals between Yates iterations).
+    power_control_tolerance: float = 1e-6
 
     def __post_init__(self) -> None:
         check_positive("cell_radius_m", self.cell_radius_m)
@@ -142,6 +145,7 @@ class RadioConfig:
         if not 0.0 < self.control_channel_rate_fraction <= 1.0:
             raise ValueError("control_channel_rate_fraction must lie in (0, 1]")
         check_positive_int("power_control_iterations", self.power_control_iterations)
+        check_positive("power_control_tolerance", self.power_control_tolerance)
 
     @property
     def fch_processing_gain(self) -> float:

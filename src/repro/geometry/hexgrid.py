@@ -48,6 +48,19 @@ class HexagonalCellLayout:
         self.inter_site_distance_m = math.sqrt(3.0) * self.cell_radius_m
         self._positions = self._build_positions()
         self._shifts = self._build_wraparound_shifts()
+        # Base-station positions replicated under every wrap-around shift,
+        # shape (num_shifts, num_cells, 2).  Precomputed once: both the
+        # per-position and the batched distance queries reduce over it.
+        self._shifted_positions = (
+            self._positions[np.newaxis, :, :] + self._shifts[:, np.newaxis, :]
+        )
+        self._shifted_x = np.ascontiguousarray(self._shifted_positions[:, :, 0])
+        self._shifted_y = np.ascontiguousarray(self._shifted_positions[:, :, 1])
+        # Scratch buffers of the batched distance kernel for the most
+        # recent batch size (the frame pipeline queries the same population
+        # every frame; keeping only one entry bounds the memory held by
+        # layouts reused across differently sized sweeps).
+        self._batch_scratch: Optional[tuple] = None
 
     # -- construction -----------------------------------------------------------
     def _axial_coordinates(self) -> List[Tuple[int, int]]:
@@ -123,11 +136,46 @@ class HexagonalCellLayout:
     def distances_to_all(self, position: np.ndarray) -> np.ndarray:
         """Distance from ``position`` to every base station (wrap-around aware)."""
         pos = np.asarray(position, dtype=float).reshape(2)
-        # shape (num_shifts, num_cells, 2)
-        shifted = self._positions[np.newaxis, :, :] + self._shifts[:, np.newaxis, :]
-        delta = shifted - pos[np.newaxis, np.newaxis, :]
+        delta = self._shifted_positions - pos[np.newaxis, np.newaxis, :]
         dist = np.sqrt((delta ** 2).sum(axis=2))
         return dist.min(axis=0)
+
+    def distances_to_all_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Distances from many positions to every base station in one call.
+
+        Parameters
+        ----------
+        positions:
+            Coordinates, shape ``(n, 2)``.
+
+        Returns
+        -------
+        Distances of shape ``(n, num_cells)``; row ``i`` equals
+        ``distances_to_all(positions[i])`` bit-for-bit (the same elementwise
+        operations run under a single ``(n, shifts, cells)`` broadcast with a
+        wrap-around min-reduction instead of one Python call per position).
+        """
+        pos = np.asarray(positions, dtype=float).reshape(-1, 2)
+        n = pos.shape[0]
+        if n == 0:
+            return np.zeros((0, self.num_cells))
+        scratch = self._batch_scratch
+        if scratch is None or scratch[0] != n:
+            shape = (n,) + self._shifted_x.shape
+            scratch = (n, np.empty(shape), np.empty(shape))
+            self._batch_scratch = scratch
+        _, d2, work = scratch
+        # Squared distances accumulated in place: (x_bs - x)^2 + (y_bs - y)^2
+        # over the (n, shifts, cells) grid.  The sign flip relative to the
+        # scalar path is irrelevant under the square, and taking the square
+        # root *after* the wrap-around min-reduction picks the same shift
+        # (sqrt is monotonic), so each row stays bit-identical.
+        np.subtract(pos[:, 0, np.newaxis, np.newaxis], self._shifted_x, out=work)
+        np.multiply(work, work, out=d2)
+        np.subtract(pos[:, 1, np.newaxis, np.newaxis], self._shifted_y, out=work)
+        np.multiply(work, work, out=work)
+        d2 += work
+        return np.sqrt(d2.min(axis=1))
 
     def distance(self, position: np.ndarray, cell_index: int) -> float:
         """Wrap-around distance from ``position`` to base station ``cell_index``."""

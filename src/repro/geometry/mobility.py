@@ -31,6 +31,8 @@ __all__ = [
     "StaticMobility",
     "RandomDirectionMobility",
     "RandomWaypointMobility",
+    "MobilityBatch",
+    "advance_all",
 ]
 
 Bounds = Tuple[float, float, float, float]
@@ -134,8 +136,16 @@ class RandomDirectionMobility(MobilityModel):
         else:
             self._speed_range = None
             self._speed = check_non_negative("speed_m_s", speed_m_s)
-        self._direction = float(self._rng.uniform(0.0, 2.0 * math.pi))
+        self._set_direction(float(self._rng.uniform(0.0, 2.0 * math.pi)))
         self._time_to_epoch = float(self._rng.exponential(self.mean_epoch_s))
+
+    def _set_direction(self, direction: float) -> None:
+        # The heading unit vector is evaluated once per draw (not once per
+        # advance) so the scalar and the batched advance paths multiply the
+        # exact same doubles and stay bit-identical.
+        self._direction = direction
+        self._dir_cos = math.cos(direction)
+        self._dir_sin = math.sin(direction)
 
     @property
     def position(self) -> np.ndarray:
@@ -151,7 +161,7 @@ class RandomDirectionMobility(MobilityModel):
         return self._direction
 
     def _redraw(self) -> None:
-        self._direction = float(self._rng.uniform(0.0, 2.0 * math.pi))
+        self._set_direction(float(self._rng.uniform(0.0, 2.0 * math.pi)))
         if self._speed_range is not None:
             self._speed = float(self._rng.uniform(*self._speed_range))
         self._time_to_epoch = float(self._rng.exponential(self.mean_epoch_s))
@@ -163,8 +173,8 @@ class RandomDirectionMobility(MobilityModel):
         xmin, xmax, ymin, ymax = self._bounds
         while remaining > 0.0:
             step = min(remaining, self._time_to_epoch)
-            dx = self._speed * step * math.cos(self._direction)
-            dy = self._speed * step * math.sin(self._direction)
+            dx = self._speed * step * self._dir_cos
+            dy = self._speed * step * self._dir_sin
             x, rx = _reflect(self._position[0] + dx, xmin, xmax)
             y, ry = _reflect(self._position[1] + dy, ymin, ymax)
             travelled += self._speed * step
@@ -172,7 +182,7 @@ class RandomDirectionMobility(MobilityModel):
             self._position[1] = y
             if rx or ry:
                 # Reverse/regenerate heading after bouncing off the boundary.
-                self._direction = float(self._rng.uniform(0.0, 2.0 * math.pi))
+                self._set_direction(float(self._rng.uniform(0.0, 2.0 * math.pi)))
             self._time_to_epoch -= step
             remaining -= step
             if self._time_to_epoch <= 0.0:
@@ -263,3 +273,213 @@ class RandomWaypointMobility(MobilityModel):
                 self._speed = float(self._rng.uniform(*self._speed_range))
                 self._pause_remaining = self.pause_s
         return travelled
+
+
+def advance_all(
+    models,
+    dt_s: float,
+    out_moved: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Advance a sequence of mobility models by ``dt_s`` seconds.
+
+    Convenience helper for one-shot population updates: all-static
+    populations short-circuit, everything else advances per model in index
+    order (so a shared random generator consumes draws exactly as the
+    equivalent hand-written loop would).  The frame pipeline itself uses
+    :class:`MobilityBatch`, which keeps structure-of-arrays state across
+    frames and vectorises the common straight-line case.
+
+    Parameters
+    ----------
+    models:
+        Sequence of :class:`MobilityModel` instances.
+    dt_s:
+        Elapsed time, seconds (non-negative).
+    out_moved:
+        Optional preallocated output for the travelled distances, shape
+        ``(len(models),)``; allocated when omitted.
+
+    Returns
+    -------
+    Distance travelled by each model, shape ``(len(models),)``.
+    """
+    check_non_negative("dt_s", dt_s)
+    n = len(models)
+    moved = out_moved if out_moved is not None else np.zeros(n)
+    if out_moved is not None and moved.shape != (n,):
+        raise ValueError("out_moved must have shape (len(models),)")
+    # Fast path: a population of static users needs no per-model calls at
+    # all (snapshot / Monte-Carlo drop analyses at scale).
+    if all(type(m) is StaticMobility for m in models):
+        moved[:] = 0.0
+        return moved
+    for i, model in enumerate(models):
+        moved[i] = model.advance(dt_s)
+    return moved
+
+
+class MobilityBatch:
+    """Vectorised per-frame advance over a fixed population of models.
+
+    The batch owns the population's positions as one ``(n, 2)`` array and
+    rebinds each model's internal position to a row view of it, so both the
+    vectorised and the per-model code paths write the same storage.  For
+    :class:`RandomDirectionMobility` users the per-frame advance is a flat
+    array kernel: every user whose epoch timer survives the frame and whose
+    straight-line step stays inside the region advances with pure array
+    arithmetic (consuming no random draws — such users never draw in the
+    scalar path either), and only the rare epoch/boundary crossers fall back
+    to the exact scalar :meth:`MobilityModel.advance`, in index order.  The
+    resulting trajectories and random-stream consumption are bit-identical
+    to advancing every model in a Python loop.
+
+    Model attributes (position, epoch timer, heading, speed) remain
+    authoritative between advances: epoch timers are written back after the
+    vector update, and a model rebound by a *newer* batch (mobiles reused
+    across several networks) is detected and re-adopted on the next
+    advance.  Do not call :meth:`MobilityModel.advance` directly on a
+    batched model, though — the batch's kinematic mirror would go stale.
+
+    Parameters
+    ----------
+    models:
+        The mobility models, one per user.
+    positions_out:
+        Optional ``(n, 2)`` array to adopt as the shared position storage
+        (e.g. the radio network's structure-of-arrays position buffer).
+    """
+
+    def __init__(self, models, positions_out: Optional[np.ndarray] = None) -> None:
+        self.models = list(models)
+        n = len(self.models)
+        if positions_out is None:
+            positions_out = np.zeros((n, 2))
+        if positions_out.shape != (n, 2):
+            raise ValueError("positions_out must have shape (len(models), 2)")
+        self.positions = positions_out
+        rebound = np.zeros(n, dtype=bool)
+        for i, model in enumerate(self.models):
+            internal = getattr(model, "_position", None)
+            if isinstance(internal, np.ndarray) and internal.shape == (2,):
+                self.positions[i] = internal
+                model._position = self.positions[i]
+                rebound[i] = True
+            else:  # custom model: copy after each advance instead
+                self.positions[i] = model.position
+        self._rebound = rebound
+
+        kinds = [type(m) for m in self.models]
+        self._rd_indices = np.flatnonzero(
+            np.asarray([k is RandomDirectionMobility for k in kinds])
+        )
+        self._other_indices = np.flatnonzero(
+            np.asarray(
+                [
+                    k is not RandomDirectionMobility and k is not StaticMobility
+                    for k in kinds
+                ]
+            )
+        )
+        self._rd_all = self._rd_indices.size == n
+
+        m = self._rd_indices.size
+        self._speed = np.zeros(m)
+        self._dir_cos = np.zeros(m)
+        self._dir_sin = np.zeros(m)
+        self._tte = np.zeros(m)
+        self._bounds = np.zeros((m, 4))
+        self._rd_local = {int(i): local for local, i in enumerate(self._rd_indices)}
+        for local, i in enumerate(self._rd_indices):
+            self._resync(local, self.models[i])
+
+    def _readopt_foreign(self) -> None:
+        """Re-adopt models whose storage was rebound by a newer batch.
+
+        Mobiles may be reused across several networks (ablation sweeps);
+        each network's batch rebinds the models' positions into its own
+        buffer.  A model pointing at foreign storage is imported back —
+        position copied into this batch's buffer and the random-direction
+        mirror refreshed from the (authoritative) model attributes.
+        """
+        positions = self.positions
+        for i, model in enumerate(self.models):
+            if not self._rebound[i]:
+                continue
+            internal = model._position
+            if internal.base is not positions:
+                positions[i] = internal
+                model._position = positions[i]
+                local = self._rd_local.get(i)
+                if local is not None:
+                    self._resync(local, model)
+
+    def _resync(self, local: int, model: "RandomDirectionMobility") -> None:
+        """Refresh the SoA mirror of one random-direction model."""
+        self._speed[local] = model._speed
+        self._dir_cos[local] = model._dir_cos
+        self._dir_sin[local] = model._dir_sin
+        self._tte[local] = model._time_to_epoch
+        self._bounds[local] = model._bounds
+
+    def advance(self, dt_s: float, out_moved: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance every model by ``dt_s``; returns the travelled distances."""
+        check_non_negative("dt_s", dt_s)
+        n = len(self.models)
+        moved = out_moved if out_moved is not None else np.zeros(n)
+        if moved.shape != (n,):
+            raise ValueError("out_moved must have shape (len(models),)")
+        moved[:] = 0.0
+        self._readopt_foreign()
+
+        rd = self._rd_indices
+        if rd.size:
+            if self._rd_all:
+                px = self.positions[:, 0]
+                py = self.positions[:, 1]
+            else:
+                px = self.positions[rd, 0]
+                py = self.positions[rd, 1]
+            # Straight-line candidate step with the exact scalar grouping:
+            # (speed * dt) * heading, position + delta.
+            travel = self._speed * dt_s
+            nx = px + travel * self._dir_cos
+            ny = py + travel * self._dir_sin
+            b = self._bounds
+            fast = (
+                (self._tte > dt_s)
+                & (nx >= b[:, 0])
+                & (nx <= b[:, 1])
+                & (ny >= b[:, 2])
+                & (ny <= b[:, 3])
+            )
+            fast_rows = rd[fast]
+            self.positions[fast_rows, 0] = nx[fast]
+            self.positions[fast_rows, 1] = ny[fast]
+            moved[fast_rows] = travel[fast]
+            self._tte[fast] -= dt_s
+            # Keep the model attribute authoritative so a later batch (or a
+            # direct scalar advance) resumes from the correct epoch timer.
+            tte = self._tte
+            models = self.models
+            for local in np.flatnonzero(fast):
+                models[int(rd[local])]._time_to_epoch = tte[local]
+            slow = [(int(rd[local]), int(local)) for local in np.flatnonzero(~fast)]
+        else:
+            slow = []
+
+        # Models needing a scalar update — epoch/boundary-crossing
+        # random-direction users plus every non-random-direction mover —
+        # run in global index order so a shared random generator consumes
+        # draws exactly as the equivalent per-model loop would.
+        scalar_models = sorted(slow + [(int(i), None) for i in self._other_indices])
+        for i, local in scalar_models:
+            model = self.models[i]
+            if local is not None:
+                model._time_to_epoch = float(self._tte[local])
+                moved[i] = model.advance(dt_s)
+                self._resync(local, model)
+            else:
+                moved[i] = model.advance(dt_s)
+                if not self._rebound[i]:
+                    self.positions[i] = model.position
+        return moved

@@ -313,6 +313,9 @@ class DynamicSystemSimulator:
         frame_s = scenario.system.mac.frame_duration_s
         total_time = scenario.warmup_s + scenario.duration_s
         num_frames = int(math.ceil(total_time / frame_s))
+        bs_noise_power_w = np.asarray(
+            [bs.noise_power_w for bs in self.network.base_stations]
+        )
 
         for frame_index in range(num_frames):
             now = self.network.time_s
@@ -331,11 +334,7 @@ class DynamicSystemSimulator:
                 ),
                 reverse_rise_db=float(
                     np.mean(
-                        snapshot.reverse_load.rise_over_thermal_db(
-                            np.asarray(
-                                [bs.noise_power_w for bs in self.network.base_stations]
-                            )
-                        )
+                        snapshot.reverse_load.rise_over_thermal_db(bs_noise_power_w)
                     )
                 ),
                 fch_outage_fraction=snapshot.fch_outage_fraction(),

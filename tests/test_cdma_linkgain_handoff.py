@@ -167,3 +167,116 @@ class TestSoftHandoffController:
         controller = SoftHandoffController(num_mobiles=2)
         with pytest.raises(ValueError):
             controller.update(np.ones((3, 4)))
+
+
+class TestLocalMeanGainCache:
+    def test_cache_returns_same_array_until_invalidated(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=4, rng=rng)
+        gains.set_positions(np.zeros((4, 2)))
+        first = gains.local_mean_gain()
+        assert gains.local_mean_gain() is first  # cached, no rebuild
+        gains.set_positions(np.full((4, 2), 100.0))
+        second = gains.local_mean_gain()
+        assert second is not first
+        assert not np.array_equal(first, second)
+
+    def test_one_build_per_advance(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=4, rng=rng)
+        gains.set_positions(np.zeros((4, 2)))
+        gains.local_mean_gain()
+        builds = gains.local_mean_builds
+        gains.advance(np.zeros((4, 2)), moved_m=np.full(4, 5.0), dt_s=0.1)
+        for _ in range(5):
+            gains.local_mean_gain()
+        assert gains.local_mean_builds == builds + 1
+
+    def test_cached_matrix_is_read_only(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=2, rng=rng)
+        gains.set_positions(np.zeros((2, 2)))
+        matrix = gains.local_mean_gain()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_cache_matches_fresh_computation(self, layout, rng):
+        gains = LinkGainMap(layout, num_mobiles=6, rng=rng, shadowing_std_db=8.0)
+        gains.set_positions(rng.uniform(-500, 500, size=(6, 2)))
+        expected = gains._path_gain * 10.0 ** (gains.shadowing_db() / 10.0)
+        assert np.array_equal(gains.local_mean_gain(), expected)
+
+
+def _reference_handoff_update(controller, previous_sets, pilots):
+    """Transcription of the seed's per-mobile hand-off loop (ground truth)."""
+    add_lin = 10.0 ** (controller.add_threshold_db / 10.0)
+    drop_lin = 10.0 ** (controller.drop_threshold_db / 10.0)
+    new_sets, events = [], 0
+    for j in range(pilots.shape[0]):
+        row = pilots[j]
+        retained = [k for k in previous_sets[j] if row[k] >= drop_lin]
+        order = np.argsort(row)[::-1]
+        for k in order:
+            k = int(k)
+            if row[k] < add_lin:
+                break
+            if k not in retained:
+                retained.append(k)
+        if not retained:
+            retained = [int(order[0])]
+        retained.sort(key=lambda cell: -row[cell])
+        retained = retained[: controller.max_active_set_size]
+        if retained != previous_sets[j]:
+            events += 1
+        new_sets.append(retained)
+    return new_sets, events
+
+
+class TestVectorisedHandoffParity:
+    """The array-kernel update reproduces the per-mobile reference loop."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_trajectories_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        num_mobiles, num_cells = 17, 7
+        controller = SoftHandoffController(num_mobiles=num_mobiles)
+        reference_sets = [[] for _ in range(num_mobiles)]
+        reference_events = 0
+        for _ in range(30):
+            # Log-uniform pilots around the add/drop thresholds.
+            pilots = 10.0 ** rng.uniform(-2.5, -0.5, size=(num_mobiles, num_cells))
+            controller.update(pilots)
+            reference_sets, events = _reference_handoff_update(
+                controller, reference_sets, pilots
+            )
+            reference_events += events
+            for j in range(num_mobiles):
+                state = controller.state(j)
+                assert state.active_set == reference_sets[j]
+                assert state.serving_cell == reference_sets[j][0]
+                assert (
+                    state.reduced_active_set
+                    == reference_sets[j][: controller.reduced_active_set_size]
+                )
+        assert controller.handoff_events == reference_events
+
+    def test_matrices_match_states(self):
+        rng = np.random.default_rng(9)
+        controller = SoftHandoffController(num_mobiles=10)
+        pilots = 10.0 ** rng.uniform(-2.5, -0.5, size=(10, 7))
+        controller.update(pilots)
+        active = controller.active_set_matrix(7)
+        reduced = controller.reduced_active_set_matrix(7)
+        for j in range(10):
+            state = controller.state(j)
+            assert sorted(np.flatnonzero(active[j])) == sorted(state.active_set)
+            assert sorted(np.flatnonzero(reduced[j])) == sorted(
+                state.reduced_active_set
+            )
+
+    def test_states_sequence_semantics(self):
+        controller = SoftHandoffController(num_mobiles=3)
+        controller.update(np.asarray([[0.08, 0.07], [0.08, 0.001], [0.001, 0.08]]))
+        states = controller.states
+        assert len(states) == 3
+        assert [s.serving_cell for s in states] == [0, 0, 1]
+        assert states[-1].serving_cell == 1
+        with pytest.raises(IndexError):
+            states[3]

@@ -148,3 +148,87 @@ class TestMobility:
         for _ in range(200):
             network.advance(0.1)
         assert network.handoff.handoff_events > 0
+
+
+class TestFramePipelineRegressions:
+    """Guards for the vectorised structure-of-arrays frame pipeline."""
+
+    def test_one_gain_build_per_step(self):
+        # Hand-off update and snapshot share a single local-mean gain build
+        # per frame (the 10**(dB/10) matrix used to be computed twice).
+        network, _ = build_network()
+        network.snapshot()
+        builds = network.link_gains.local_mean_builds
+        network.step(0.02)
+        assert network.link_gains.local_mean_builds == builds + 1
+        network.step(0.02)
+        assert network.link_gains.local_mean_builds == builds + 2
+
+    def test_mobile_index_caches(self):
+        network, _ = build_network(num_data=3, num_voice=5)
+        first = network.data_mobile_indices()
+        assert network.data_mobile_indices() is first  # cached, not rebuilt
+        assert list(first) == [0, 1, 2]
+        assert list(network.voice_mobile_indices()) == [3, 4, 5, 6, 7]
+        with pytest.raises(ValueError):
+            first[0] = 99  # read-only view
+
+    def test_fch_state_write_through(self):
+        # The MAC layer toggles FCH activity by plain attribute assignment;
+        # the network's arrays must observe it without re-scanning mobiles.
+        network, _ = build_network()
+        network.mobiles[0].fch_active = False
+        network.mobiles[1].fch_rate_factor = 0.125
+        snapshot = network.snapshot()
+        assert np.isnan(snapshot.forward_pc.achieved_sir[0])
+        assert snapshot.reverse_pc.tx_power_w[0] == 0.0
+        # A low-rate control channel needs less power than a full-rate FCH.
+        network.mobiles[1].fch_rate_factor = 1.0
+        full = network.snapshot()
+        assert (
+            snapshot.reverse_pc.tx_power_w[1] < full.reverse_pc.tx_power_w[1]
+        )
+
+    def test_positions_array_tracks_mobility(self):
+        network, _ = build_network()
+        network.advance(0.5)
+        expected = np.vstack([m.position for m in network.mobiles])
+        assert np.array_equal(network._positions(), expected)
+
+    def test_warm_start_matches_cold_within_tolerance(self):
+        from dataclasses import replace
+
+        config = SystemConfig.small_test_system()
+        config = replace(
+            config,
+            radio=replace(
+                config.radio,
+                power_control_iterations=300,
+                power_control_tolerance=1e-10,
+            ),
+        )
+        cold, _ = build_network(seed=5, config=config)
+        warm_net, _ = build_network(seed=5, config=config)
+        warm_net.warm_start_power_control = True
+        for _ in range(6):
+            a = cold.step(0.02)
+            b = warm_net.step(0.02)
+            np.testing.assert_allclose(
+                b.reverse_pc.total_power_w, a.reverse_pc.total_power_w, rtol=1e-6
+            )
+            np.testing.assert_allclose(
+                b.forward_pc.total_power_w, a.forward_pc.total_power_w, rtol=1e-6
+            )
+            np.testing.assert_allclose(
+                b.sch_mean_csi_forward, a.sch_mean_csi_forward, rtol=1e-5
+            )
+
+    def test_snapshot_gains_stable_across_frames(self):
+        # Each frame publishes a fresh gain matrix; earlier snapshots must
+        # not be mutated by later frames.
+        network, _ = build_network()
+        first = network.snapshot()
+        held = first.gains
+        before = held.copy()
+        network.step(0.02)
+        assert np.array_equal(held, before)

@@ -115,3 +115,36 @@ class TestSampling:
         rng = np.random.default_rng(4)
         point = layout.random_position(rng)
         assert layout.cell_of(point) == layout.nearest_cell(point)
+
+
+class TestBatchDistances:
+    """Property tests: the batched kernel matches the per-row query exactly."""
+
+    @pytest.mark.parametrize("wraparound", [True, False])
+    @pytest.mark.parametrize("rings", [0, 1, 2])
+    def test_matches_per_row_distances(self, rings, wraparound):
+        layout = HexagonalCellLayout(
+            num_rings=rings, cell_radius_m=750.0, wraparound=wraparound
+        )
+        rng = np.random.default_rng(2024 + rings)
+        span = 4.0 * layout.cell_radius_m
+        positions = rng.uniform(-span, span, size=(57, 2))
+        batch = layout.distances_to_all_batch(positions)
+        assert batch.shape == (57, layout.num_cells)
+        rows = np.vstack([layout.distances_to_all(p) for p in positions])
+        # Bit-identical, not merely close.
+        assert np.array_equal(batch, rows)
+
+    def test_repeated_batches_identical(self):
+        layout = HexagonalCellLayout(num_rings=1)
+        rng = np.random.default_rng(7)
+        positions = rng.uniform(-2000.0, 2000.0, size=(11, 2))
+        first = layout.distances_to_all_batch(positions)
+        second = layout.distances_to_all_batch(positions)
+        assert np.array_equal(first, second)
+        assert first is not second  # scratch buffers never escape
+
+    def test_empty_batch(self):
+        layout = HexagonalCellLayout(num_rings=1)
+        out = layout.distances_to_all_batch(np.zeros((0, 2)))
+        assert out.shape == (0, layout.num_cells)
