@@ -55,6 +55,12 @@ class NetworkSnapshot:
         average throughput ``delta_rho``.
     forward_pc / reverse_pc:
         Raw power-control results (achieved SIR, power-limited flags).
+    active_set_matrix / reduced_active_set_matrix:
+        Boolean soft-hand-off membership matrices, shape ``(J, K)``; consumed
+        by the batched measurement kernels.  Optional: snapshots built by
+        hand (tests, transcribed baselines) may omit them, in which case
+        :meth:`active_membership` / :meth:`reduced_membership` materialise
+        them from ``handoff_states`` on first use.
     """
 
     time_s: float
@@ -67,6 +73,8 @@ class NetworkSnapshot:
     sch_mean_csi_reverse: np.ndarray
     forward_pc: PowerControlResult
     reverse_pc: PowerControlResult
+    active_set_matrix: Optional[np.ndarray] = None
+    reduced_active_set_matrix: Optional[np.ndarray] = None
 
     @property
     def num_mobiles(self) -> int:
@@ -77,6 +85,26 @@ class NetworkSnapshot:
     def num_cells(self) -> int:
         """Number of cells in the snapshot."""
         return self.gains.shape[1]
+
+    def _membership_from_states(self, reduced: bool) -> np.ndarray:
+        out = np.zeros((len(self.handoff_states), self.num_cells), dtype=bool)
+        for j, state in enumerate(self.handoff_states):
+            cells = state.reduced_active_set if reduced else state.active_set
+            out[j, list(cells)] = True
+        out.flags.writeable = False
+        return out
+
+    def active_membership(self) -> np.ndarray:
+        """Boolean FCH active-set membership, shape ``(J, K)``."""
+        if self.active_set_matrix is None:
+            self.active_set_matrix = self._membership_from_states(reduced=False)
+        return self.active_set_matrix
+
+    def reduced_membership(self) -> np.ndarray:
+        """Boolean reduced-active-set (SCH legs) membership, shape ``(J, K)``."""
+        if self.reduced_active_set_matrix is None:
+            self.reduced_active_set_matrix = self._membership_from_states(reduced=True)
+        return self.reduced_active_set_matrix
 
     def fch_outage_fraction(self) -> float:
         """Fraction of active FCH links that failed to reach their SIR target."""
@@ -455,6 +483,10 @@ class CdmaNetwork:
             sch_mean_csi_reverse=sch_csi_reverse,
             forward_pc=forward_result,
             reverse_pc=reverse_result,
+            active_set_matrix=active_set,
+            reduced_active_set_matrix=self.handoff.reduced_active_set_matrix(
+                self.num_cells
+            ),
         )
 
     # -- burst power bookkeeping --------------------------------------------------------

@@ -18,7 +18,12 @@ forward and the reverse link.
 """
 
 from repro.mac.requests import BurstRequest, BurstGrant, LinkDirection
-from repro.mac.states import MacState, MacStateMachine, setup_delay_penalty
+from repro.mac.states import (
+    MacState,
+    MacStateMachine,
+    setup_delay_penalty,
+    setup_delay_penalties,
+)
 from repro.mac.measurement import (
     AdmissibleRegion,
     ForwardLinkMeasurement,
@@ -48,6 +53,7 @@ __all__ = [
     "MacState",
     "MacStateMachine",
     "setup_delay_penalty",
+    "setup_delay_penalties",
     "AdmissibleRegion",
     "ForwardLinkMeasurement",
     "ReverseLinkMeasurement",

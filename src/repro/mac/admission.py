@@ -31,10 +31,11 @@ from repro.mac.measurement import (
     AdmissibleRegion,
     ForwardLinkMeasurement,
     ReverseLinkMeasurement,
+    _mobile_indices,
 )
 from repro.mac.requests import BurstGrant, BurstRequest, LinkDirection
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
-from repro.mac.states import setup_delay_penalty
+from repro.mac.states import setup_delay_penalties
 from repro.phy.modes import ModeTable
 from repro.phy.vtaoc import VtaocCodec
 
@@ -98,6 +99,10 @@ class BurstAdmissionController:
         from the PHY configuration when omitted.
     scrm_max_pilots:
         Number of neighbour pilots carried in the SCRM message.
+    batched:
+        Build the admissible regions and the per-request problem vectors with
+        the queue-wide array kernels (default).  ``False`` selects the scalar
+        oracle path; both are bit-identical.
     """
 
     def __init__(
@@ -106,9 +111,11 @@ class BurstAdmissionController:
         scheduler: BurstScheduler,
         vtaoc: Optional[VtaocCodec] = None,
         scrm_max_pilots: int = 8,
+        batched: bool = True,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
+        self.batched = bool(batched)
         self.vtaoc = (
             vtaoc
             if vtaoc is not None
@@ -118,9 +125,11 @@ class BurstAdmissionController:
                 coding_gain_db=config.phy.coding_gain_db,
             )
         )
-        self.forward_measurement = ForwardLinkMeasurement(config.phy, config.mac)
+        self.forward_measurement = ForwardLinkMeasurement(
+            config.phy, config.mac, batched=self.batched
+        )
         self.reverse_measurement = ReverseLinkMeasurement(
-            config.phy, config.mac, scrm_max_pilots=scrm_max_pilots
+            config.phy, config.mac, scrm_max_pilots=scrm_max_pilots, batched=self.batched
         )
         self.duration_constraint = BurstDurationConstraint(
             config.mac, config.radio.fch_bit_rate_bps
@@ -130,6 +139,26 @@ class BurstAdmissionController:
     def _delta_rho(
         self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
     ) -> np.ndarray:
+        if self.batched and requests:
+            # One gather + one vectorised VTAOC evaluation for the whole
+            # queue (bit-identical to the per-request loop below).
+            j_idx = _mobile_indices(requests)
+            forward = np.fromiter(
+                (r.link is LinkDirection.FORWARD for r in requests),
+                dtype=bool,
+                count=len(requests),
+            )
+            mean_csi = np.where(
+                forward,
+                snapshot.sch_mean_csi_forward[j_idx],
+                snapshot.sch_mean_csi_reverse[j_idx],
+            )
+            return np.asarray(
+                self.vtaoc.relative_average_throughput(
+                    mean_csi, self.config.phy.fch_throughput
+                ),
+                dtype=float,
+            )
         values = np.zeros(len(requests), dtype=float)
         for i, request in enumerate(requests):
             j = request.mobile_index
@@ -159,22 +188,26 @@ class BurstAdmissionController:
         else:
             region = self.reverse_measurement.build(snapshot, requests)
         delta_rho = self._delta_rho(snapshot, requests)
-        sizes = np.asarray([r.remaining_bits for r in requests], dtype=float)
+        sizes = np.fromiter(
+            (r.remaining_bits for r in requests), dtype=float, count=len(requests)
+        )
         upper = (
             self.duration_constraint.upper_bounds(sizes, delta_rho)
             if requests
             else np.zeros(0, dtype=int)
         )
         now = snapshot.time_s
-        waiting = np.asarray(
-            [
-                r.waiting_time_s(now)
-                + setup_delay_penalty(r.waiting_time_s(now), self.config.mac)
-                for r in requests
-            ],
-            dtype=float,
+        # Eq. (22): w_j = t_w + D_s, evaluated queue-wide (the step-function
+        # penalty of eq. (23) selects exact constants, so this is
+        # bit-identical to the per-request form).
+        arrivals = np.fromiter(
+            (r.arrival_time_s for r in requests), dtype=float, count=len(requests)
         )
-        priorities = np.asarray([r.priority for r in requests], dtype=float)
+        raw_waiting = np.maximum(0.0, now - arrivals)
+        waiting = raw_waiting + setup_delay_penalties(raw_waiting, self.config.mac)
+        priorities = np.fromiter(
+            (r.priority for r in requests), dtype=float, count=len(requests)
+        )
         return SchedulingInput(
             requests=requests,
             region=region,

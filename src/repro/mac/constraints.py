@@ -64,15 +64,29 @@ class BurstDurationConstraint:
         return int(max(1, math.floor(bound + 1e-9)))
 
     def upper_bounds(self, sizes_bits: np.ndarray, delta_rho: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`upper_bound` over all pending requests."""
+        """Vectorised :meth:`upper_bound` over all pending requests.
+
+        One array kernel instead of a per-request Python loop; the arithmetic
+        mirrors :meth:`upper_bound` operation for operation so the bounds are
+        bit-identical.
+        """
         sizes = np.asarray(sizes_bits, dtype=float)
         rho = np.asarray(delta_rho, dtype=float)
         if sizes.shape != rho.shape:
             raise ValueError("sizes_bits and delta_rho must have the same shape")
-        out = np.zeros(sizes.shape, dtype=int)
-        for i in range(sizes.size):
-            out.flat[i] = self.upper_bound(float(sizes.flat[i]), float(rho.flat[i]))
-        return out
+        if sizes.size == 0:
+            return np.zeros(sizes.shape, dtype=int)
+        if np.any(sizes <= 0.0):
+            raise ValueError("size_bits must be positive")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            duration_limited = sizes / (
+                self.config.min_burst_duration_s * rho * self.fch_bit_rate_bps
+            )
+            bound = np.minimum(
+                float(self.config.max_spreading_gain_ratio), duration_limited
+            )
+            clipped = np.maximum(1.0, np.floor(bound + 1e-9))
+        return np.where(rho <= 0.0, 0, clipped.astype(np.int64)).astype(int)
 
     def burst_duration_s(self, size_bits: float, m: int, delta_rho: float) -> float:
         """Time needed to drain ``size_bits`` at spreading-gain ratio ``m``."""

@@ -19,6 +19,21 @@ each burst request into the linear constraints of the scheduling problem:
 
 Both regions are represented by :class:`AdmissibleRegion`, whose matrix/bound
 pair feeds directly into :class:`repro.opt.problem.BoundedIntegerProgram`.
+
+Each builder ships two implementations selected by the ``batched`` switch:
+
+* the **scalar oracle** (``build_scalar``) walks the pending queue one
+  request and one cell at a time — a direct transcription of
+  eqs. (6)–(18) kept as the reference semantics;
+* the **batched kernel** (``build_batched``, the default) evaluates the same
+  equations for the *whole* pending queue in a handful of NumPy operations
+  (one gather of per-request rows, boolean membership matrices, a row-wise
+  top-``scrm_max_pilots`` selection and one vectorised relative-path-loss
+  matrix), so the per-frame admission cost no longer scales with the queue
+  length in Python.  The batched kernels are maintained bit-identical
+  (``np.array_equal``) to the scalar oracle; the parity suite in
+  ``tests/test_mac_measurement.py`` and ``benchmarks/bench_admission_queue.py``
+  enforce this.
 """
 
 from __future__ import annotations
@@ -122,30 +137,72 @@ def relative_path_loss(
     return max(neighbor, 0.0) / host
 
 
-class ForwardLinkMeasurement:
-    """Builds the forward-link admissible region (eqs. (6)–(8))."""
+def _mobile_indices(requests: Sequence[BurstRequest]) -> np.ndarray:
+    """Gather the per-request mobile indices as one int array."""
+    return np.fromiter(
+        (r.mobile_index for r in requests), dtype=np.int64, count=len(requests)
+    )
 
-    def __init__(self, phy: PhyConfig, mac: MacConfig) -> None:
+
+def _check_links(requests: Sequence[BurstRequest], link: LinkDirection) -> None:
+    for request in requests:
+        if request.link is not link:
+            raise ValueError(
+                f"{'Forward' if link is LinkDirection.FORWARD else 'Reverse'}"
+                f"LinkMeasurement received a "
+                f"{'reverse' if link is LinkDirection.FORWARD else 'forward'} request"
+            )
+
+
+class ForwardLinkMeasurement:
+    """Builds the forward-link admissible region (eqs. (6)–(8)).
+
+    Parameters
+    ----------
+    phy / mac:
+        Configuration sections providing ``gamma_s`` and ``alpha``.
+    batched:
+        Use the queue-wide array kernel (default).  ``False`` selects the
+        per-request scalar oracle; both produce bit-identical regions.
+    """
+
+    def __init__(self, phy: PhyConfig, mac: MacConfig, batched: bool = True) -> None:
         self.phy = phy
         self.mac = mac
+        self.batched = bool(batched)
 
     def build(
         self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
     ) -> AdmissibleRegion:
         """Admissible region of the given forward-link requests."""
-        for request in requests:
-            if request.link is not LinkDirection.FORWARD:
-                raise ValueError("ForwardLinkMeasurement received a reverse request")
+        if self.batched:
+            return self.build_batched(snapshot, requests)
+        return self.build_scalar(snapshot, requests)
+
+    def _bounds(self, snapshot: NetworkSnapshot) -> np.ndarray:
+        return snapshot.forward_load.headroom_w() * self.mac.forward_admission_margin
+
+    def build_scalar(
+        self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
+    ) -> AdmissibleRegion:
+        """Reference implementation: one request and one cell at a time.
+
+        Reads the hand-off membership through the same snapshot accessors as
+        the batched kernel so the two paths cannot silently diverge on a
+        snapshot whose ``handoff_states`` and membership matrices disagree.
+        """
+        _check_links(requests, LinkDirection.FORWARD)
         num_cells = snapshot.num_cells
         num_requests = len(requests)
         matrix = np.zeros((num_cells, num_requests), dtype=float)
         fch_power = snapshot.forward_load.fch_power_w
         gamma_s = self.phy.gamma_s_forward
         alpha = self.mac.alpha_forward
+        reduced_membership = snapshot.reduced_membership()
 
         for col, request in enumerate(requests):
             j = request.mobile_index
-            reduced_set = snapshot.handoff_states[j].reduced_active_set
+            reduced_set = [int(k) for k in np.nonzero(reduced_membership[j])[0]]
             for k in reduced_set:
                 # Eq. (6): one unit of m costs gamma_s * P_{j,k} * alpha at
                 # every reduced-active-set cell.  When the FCH allocation of
@@ -156,27 +213,88 @@ class ForwardLinkMeasurement:
                     p_jk = float(fch_power[j, snapshot.serving_cells[j]])
                 matrix[k, col] = gamma_s * p_jk * alpha
 
-        bounds = snapshot.forward_load.headroom_w() * self.mac.forward_admission_margin
-        return AdmissibleRegion(matrix=matrix, bounds=bounds, link=LinkDirection.FORWARD)
+        return AdmissibleRegion(
+            matrix=matrix, bounds=self._bounds(snapshot), link=LinkDirection.FORWARD
+        )
+
+    def build_batched(
+        self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
+    ) -> AdmissibleRegion:
+        """Queue-wide kernel: eq. (6) for all pending requests at once."""
+        _check_links(requests, LinkDirection.FORWARD)
+        num_cells = snapshot.num_cells
+        num_requests = len(requests)
+        if num_requests == 0:
+            matrix = np.zeros((num_cells, 0), dtype=float)
+        else:
+            fch_power = snapshot.forward_load.fch_power_w
+            gamma_s = self.phy.gamma_s_forward
+            alpha = self.mac.alpha_forward
+            j_idx = _mobile_indices(requests)
+            membership = snapshot.reduced_membership()[j_idx]  # (n, K)
+            power = fch_power[j_idx]  # (n, K)
+            serving = np.asarray(snapshot.serving_cells, dtype=np.int64)[j_idx]
+            serving_power = fch_power[j_idx, serving]  # (n,)
+            # Zero-power legs fall back to the serving-cell allocation; the
+            # `<=` mask mirrors the scalar oracle exactly (including the
+            # propagation of non-finite values).
+            effective = np.where(power <= 0.0, serving_power[:, np.newaxis], power)
+            matrix = np.where(membership, gamma_s * effective * alpha, 0.0).T
+        return AdmissibleRegion(
+            matrix=matrix, bounds=self._bounds(snapshot), link=LinkDirection.FORWARD
+        )
 
 
 class ReverseLinkMeasurement:
-    """Builds the reverse-link admissible region (eqs. (9)–(18))."""
+    """Builds the reverse-link admissible region (eqs. (9)–(18)).
 
-    def __init__(self, phy: PhyConfig, mac: MacConfig, scrm_max_pilots: int = 8) -> None:
+    Parameters
+    ----------
+    phy / mac:
+        Configuration sections providing ``gamma_s``, ``alpha`` and ``kappa``.
+    scrm_max_pilots:
+        Number of neighbour pilots carried in the SCRM message.
+    batched:
+        Use the queue-wide array kernel (default).  ``False`` selects the
+        per-request scalar oracle; both produce bit-identical regions.
+    """
+
+    def __init__(
+        self,
+        phy: PhyConfig,
+        mac: MacConfig,
+        scrm_max_pilots: int = 8,
+        batched: bool = True,
+    ) -> None:
         if scrm_max_pilots < 1:
             raise ValueError("scrm_max_pilots must be at least 1")
         self.phy = phy
         self.mac = mac
         self.scrm_max_pilots = int(scrm_max_pilots)
+        self.batched = bool(batched)
 
     def build(
         self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
     ) -> AdmissibleRegion:
         """Admissible region of the given reverse-link requests."""
-        for request in requests:
-            if request.link is not LinkDirection.REVERSE:
-                raise ValueError("ReverseLinkMeasurement received a forward request")
+        if self.batched:
+            return self.build_batched(snapshot, requests)
+        return self.build_scalar(snapshot, requests)
+
+    def _bounds(self, snapshot: NetworkSnapshot) -> np.ndarray:
+        return snapshot.reverse_load.headroom_w() * self.mac.reverse_admission_margin
+
+    def build_scalar(
+        self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
+    ) -> AdmissibleRegion:
+        """Reference implementation: one request and one cell at a time.
+
+        Reads the host cell and hand-off membership through the same snapshot
+        accessors as the batched kernel so the two paths cannot silently
+        diverge on a snapshot whose ``handoff_states`` and
+        ``serving_cells``/membership matrices disagree.
+        """
+        _check_links(requests, LinkDirection.REVERSE)
         num_cells = snapshot.num_cells
         num_requests = len(requests)
         matrix = np.zeros((num_cells, num_requests), dtype=float)
@@ -189,15 +307,22 @@ class ReverseLinkMeasurement:
         gamma_s = self.phy.gamma_s_reverse
         alpha = self.mac.alpha_reverse
         kappa = self.mac.neighbor_margin
+        active_membership = snapshot.active_membership()
 
         for col, request in enumerate(requests):
             j = request.mobile_index
-            state = snapshot.handoff_states[j]
-            host = state.serving_cell
-            soft_handoff_cells = set(state.active_set)
+            host = int(snapshot.serving_cells[j])
+            soft_handoff_cells = set(
+                int(k) for k in np.nonzero(active_membership[j])[0]
+            )
             # Eq. (10): FCH received power at the host cell reconstructed from
             # the reverse pilot measurement and the FCH/pilot power ratio.
             x_fch_host = l_k[host] * xi[j] * t_rl[j, host]
+            # A deep-shadowed mobile may report a zero forward pilot for its
+            # own host cell; eq. (14)'s relative path loss is then undefined
+            # and the base station has no usable neighbour estimate, so the
+            # projected terms are skipped rather than raising.
+            host_pilot_usable = not t_fl[j, host] <= 0.0
 
             # Neighbour cells considered: those whose forward pilot the mobile
             # reports in its SCRM message (the strongest `scrm_max_pilots`).
@@ -207,7 +332,7 @@ class ReverseLinkMeasurement:
                 if k in soft_handoff_cells:
                     # Eq. (12): same-cell / soft-hand-off measurement.
                     matrix[k, col] = gamma_s * l_k[k] * xi[j] * t_rl[j, k] * alpha
-                elif k in reported:
+                elif k in reported and host_pilot_usable:
                     # Eq. (15): projected interference through the relative
                     # path loss of eq. (14), with shadowing margin kappa.
                     delta_p = relative_path_loss(t_fl[j], host, k)
@@ -216,5 +341,63 @@ class ReverseLinkMeasurement:
                 # SCRM are not constrained (the base station has no estimate
                 # for them) — exactly as in the paper.
 
-        bounds = reverse_load.headroom_w() * self.mac.reverse_admission_margin
-        return AdmissibleRegion(matrix=matrix, bounds=bounds, link=LinkDirection.REVERSE)
+        return AdmissibleRegion(
+            matrix=matrix, bounds=self._bounds(snapshot), link=LinkDirection.REVERSE
+        )
+
+    def build_batched(
+        self, snapshot: NetworkSnapshot, requests: Sequence[BurstRequest]
+    ) -> AdmissibleRegion:
+        """Queue-wide kernel: eqs. (9)–(15) for all pending requests at once."""
+        _check_links(requests, LinkDirection.REVERSE)
+        num_cells = snapshot.num_cells
+        num_requests = len(requests)
+        if num_requests == 0:
+            return AdmissibleRegion(
+                matrix=np.zeros((num_cells, 0), dtype=float),
+                bounds=self._bounds(snapshot),
+                link=LinkDirection.REVERSE,
+            )
+
+        reverse_load = snapshot.reverse_load
+        l_k = reverse_load.current_interference_w
+        gamma_s = self.phy.gamma_s_reverse
+        alpha = self.mac.alpha_reverse
+        kappa = self.mac.neighbor_margin
+
+        j_idx = _mobile_indices(requests)
+        rows = np.arange(num_requests)
+        host = np.asarray(snapshot.serving_cells, dtype=np.int64)[j_idx]
+        soft = snapshot.active_membership()[j_idx]  # (n, K)
+        t_rl = reverse_load.reverse_pilot_strength[j_idx]  # (n, K)
+        t_fl = reverse_load.forward_pilot_strength[j_idx]  # (n, K)
+        xi = reverse_load.fch_pilot_power_ratio[j_idx]  # (n,)
+
+        # Eq. (12): soft-hand-off cells measure the requester directly.
+        soft_term = gamma_s * l_k[np.newaxis, :] * xi[:, np.newaxis] * t_rl * alpha
+
+        # SCRM-reported neighbours: row-wise top-scrm_max_pilots by forward
+        # pilot strength.  A descending argsort (not argpartition) keeps the
+        # membership of tied pilots at the selection boundary bit-identical
+        # to the per-request oracle.
+        width = min(self.scrm_max_pilots, num_cells)
+        order = np.argsort(t_fl, axis=1)[:, ::-1][:, :width]
+        reported = np.zeros((num_requests, num_cells), dtype=bool)
+        reported[rows[:, np.newaxis], order] = True
+
+        # Eqs. (10)/(14)/(15): host-cell FCH power projected through the
+        # relative path loss, inflated by the shadowing margin.  Requests
+        # whose host-cell forward pilot is non-positive (deep shadow) have no
+        # usable neighbour estimate and keep those cells unconstrained.
+        x_fch_host = l_k[host] * xi * t_rl[rows, host]  # (n,)
+        t_host = t_fl[rows, host]
+        host_usable = ~(t_host <= 0.0)
+        safe_host = np.where(host_usable, t_host, 1.0)
+        delta_p = np.maximum(t_fl, 0.0) / safe_host[:, np.newaxis]
+        neighbor_term = gamma_s * x_fch_host[:, np.newaxis] * alpha * delta_p * kappa
+        neighbor_mask = reported & ~soft & host_usable[:, np.newaxis]
+
+        matrix = np.where(soft, soft_term, np.where(neighbor_mask, neighbor_term, 0.0)).T
+        return AdmissibleRegion(
+            matrix=matrix, bounds=self._bounds(snapshot), link=LinkDirection.REVERSE
+        )

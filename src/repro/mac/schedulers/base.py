@@ -47,6 +47,18 @@ class BurstScheduler(abc.ABC):
     #: Human-readable name used in experiment tables.
     name: str = "scheduler"
 
+    @staticmethod
+    def empty_decision() -> SchedulingDecision:
+        """The (trivially optimal) decision for an empty pending queue.
+
+        The batched problem assembly hands schedulers zero-column regions for
+        empty queues instead of skipping the invocation, so every policy
+        shares this early-out.
+        """
+        return SchedulingDecision(
+            assignment=np.zeros(0, dtype=int), objective_value=0.0, optimal=True
+        )
+
     @abc.abstractmethod
     def assign(self, problem: "SchedulingInput") -> SchedulingDecision:
         """Choose the spreading-gain ratios of the pending requests.

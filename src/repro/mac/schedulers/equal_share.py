@@ -43,9 +43,7 @@ class EqualShareScheduler(BurstScheduler):
     def assign(self, problem) -> SchedulingDecision:
         num_requests = len(problem.requests)
         if num_requests == 0:
-            return SchedulingDecision(
-                assignment=np.zeros(0, dtype=int), objective_value=0.0, optimal=True
-            )
+            return self.empty_decision()
         max_common = int(np.max(problem.upper_bounds)) if num_requests else 0
         # Binary search for the largest feasible common value.
         lo, hi = 0, max_common

@@ -32,9 +32,7 @@ class FcfsScheduler(BurstScheduler):
         num_requests = len(problem.requests)
         assignment = np.zeros(num_requests, dtype=int)
         if num_requests == 0:
-            return SchedulingDecision(
-                assignment=assignment, objective_value=0.0, optimal=True
-            )
+            return self.empty_decision()
         matrix = problem.region.matrix
         remaining = problem.region.bounds.astype(float).copy()
         order = np.argsort([r.arrival_time_s for r in problem.requests], kind="stable")

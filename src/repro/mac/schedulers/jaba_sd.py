@@ -33,8 +33,6 @@ from __future__ import annotations
 
 from typing import Literal, Union
 
-import numpy as np
-
 from repro.mac.objectives import DelayAwareObjective, ThroughputObjective
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
 from repro.opt import (
@@ -120,9 +118,7 @@ class JabaSdScheduler(BurstScheduler):
     def assign(self, problem) -> SchedulingDecision:
         num_requests = len(problem.requests)
         if num_requests == 0:
-            return SchedulingDecision(
-                assignment=np.zeros(0, dtype=int), objective_value=0.0, optimal=True
-            )
+            return self.empty_decision()
         weights = self.objective.weights(
             problem.delta_rho,
             problem.priorities,

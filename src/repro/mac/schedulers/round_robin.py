@@ -29,9 +29,7 @@ class RoundRobinScheduler(BurstScheduler):
         num_requests = len(problem.requests)
         assignment = np.zeros(num_requests, dtype=int)
         if num_requests == 0:
-            return SchedulingDecision(
-                assignment=assignment, objective_value=0.0, optimal=True
-            )
+            return self.empty_decision()
         matrix = problem.region.matrix
         remaining = problem.region.bounds.astype(float).copy()
         start = self._offset % num_requests

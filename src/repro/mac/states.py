@@ -25,10 +25,17 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import MacConfig
 from repro.utils.validation import check_non_negative
 
-__all__ = ["MacState", "setup_delay_penalty", "MacStateMachine"]
+__all__ = [
+    "MacState",
+    "setup_delay_penalty",
+    "setup_delay_penalties",
+    "MacStateMachine",
+]
 
 
 class MacState(enum.Enum):
@@ -56,6 +63,24 @@ def setup_delay_penalty(waiting_time_s: float, config: MacConfig) -> float:
     if waiting_time_s < config.t3_s:
         return config.d1_penalty_s
     return config.d2_penalty_s
+
+
+def setup_delay_penalties(
+    waiting_times_s: np.ndarray, config: MacConfig
+) -> np.ndarray:
+    """Vectorised :func:`setup_delay_penalty` over a whole pending queue.
+
+    Selects the exact step-function constants of eq. (23), so the result is
+    bit-identical to the per-request evaluation.
+    """
+    waiting = np.asarray(waiting_times_s, dtype=float)
+    if np.any(waiting < 0.0):
+        raise ValueError("waiting_times_s must be non-negative")
+    return np.where(
+        waiting < config.t2_s,
+        0.0,
+        np.where(waiting < config.t3_s, config.d1_penalty_s, config.d2_penalty_s),
+    )
 
 
 @dataclass

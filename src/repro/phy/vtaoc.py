@@ -173,7 +173,11 @@ class VtaocCodec:
                 (survival, np.zeros((survival.shape[0], 1))), axis=1
             )
             probs = upper[:, :-1] - upper[:, 1:]
-            out[positive] = probs @ self._throughputs
+            # Row-wise multiply+sum instead of `probs @ throughputs`: the
+            # BLAS matvec rounds differently depending on the batch size,
+            # which would make the queue-wide burst admission gather drift
+            # (in the last ulp) from per-request evaluation.
+            out[positive] = (probs * self._throughputs).sum(axis=1)
         if np.ndim(mean_csi) == 0:
             return float(out[0])
         return out

@@ -70,7 +70,8 @@ class DynamicSystemSimulator:
         self.scenario = scenario
         self.scheduler = scheduler
         self._rng_factory = RngFactory(scenario.seed)
-        system = scenario.system
+        system = scenario.effective_system()
+        self.system = system
         radio = system.radio
 
         self.layout = HexagonalCellLayout(
@@ -130,8 +131,11 @@ class DynamicSystemSimulator:
             mobiles=self.mobiles,
             rng=self._rng_factory.child("propagation"),
             layout=self.layout,
+            warm_start_power_control=scenario.warm_start_power_control,
         )
-        self.controller = BurstAdmissionController(system, scheduler)
+        self.controller = BurstAdmissionController(
+            system, scheduler, batched=scenario.batched_admission
+        )
 
         # -- traffic ----------------------------------------------------------------
         traffic_rng = self._rng_factory.child("traffic")
@@ -210,7 +214,7 @@ class DynamicSystemSimulator:
         below the reverse-link pole capacity) while preserving the pilot and
         FCH measurements the burst admission needs.
         """
-        control_rate = self.scenario.system.radio.control_channel_rate_fraction
+        control_rate = self.system.radio.control_channel_rate_fraction
         bursting = {b.grant.request.mobile_index for b in self.active_bursts}
         waiting = set()
         for requests in self.pending.values():
@@ -310,7 +314,7 @@ class DynamicSystemSimulator:
             (useful for the long experiment runs).
         """
         scenario = self.scenario
-        frame_s = scenario.system.mac.frame_duration_s
+        frame_s = self.system.mac.frame_duration_s
         total_time = scenario.warmup_s + scenario.duration_s
         num_frames = int(math.ceil(total_time / frame_s))
         bs_noise_power_w = np.asarray(

@@ -55,6 +55,29 @@ class TestBuildInput:
         with pytest.raises(ValueError):
             controller.build_input(snapshot, forward_requests(2), LinkDirection.REVERSE)
 
+    @pytest.mark.parametrize("link", [LinkDirection.FORWARD, LinkDirection.REVERSE])
+    def test_batched_assembly_matches_scalar_oracle(self, environment, link):
+        # The whole scheduling problem — region, delta_rho, upper bounds,
+        # waiting times — is bit-identical between the two paths.
+        _, snapshot, config = environment
+        requests = [
+            BurstRequest(mobile_index=j % snapshot.num_mobiles, link=link,
+                         size_bits=250_000.0, arrival_time_s=-0.5 * j)
+            for j in range(9)
+        ]
+        batched = BurstAdmissionController(
+            config, JabaSdScheduler("J1"), batched=True
+        ).build_input(snapshot, requests, link)
+        scalar = BurstAdmissionController(
+            config, JabaSdScheduler("J1"), batched=False
+        ).build_input(snapshot, requests, link)
+        assert np.array_equal(batched.region.matrix, scalar.region.matrix)
+        assert np.array_equal(batched.region.bounds, scalar.region.bounds)
+        assert np.array_equal(batched.delta_rho, scalar.delta_rho)
+        assert np.array_equal(batched.upper_bounds, scalar.upper_bounds)
+        assert np.array_equal(batched.waiting_times_s, scalar.waiting_times_s)
+        assert np.array_equal(batched.priorities, scalar.priorities)
+
 
 class TestDecide:
     @pytest.mark.parametrize("scheduler_factory", [lambda: JabaSdScheduler("J1"),

@@ -1,8 +1,11 @@
 """Integration tests of the dynamic system simulator."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
+from repro.config import MacConfig, RadioConfig, SystemConfig
 from repro.mac import (
     EqualShareScheduler,
     FcfsScheduler,
@@ -103,3 +106,105 @@ class TestDynamicSimulator:
             * 0.2
         )
         assert result.offered_load_bps > expected_min
+
+    def test_scalar_admission_path_matches_batched(self, fast_scenario):
+        # The batched_admission switch changes the implementation, never the
+        # decisions: full runs agree bit for bit.
+        batched = DynamicSystemSimulator(
+            fast_scenario, JabaSdScheduler("J1")
+        ).run()
+        scalar = DynamicSystemSimulator(
+            replace(fast_scenario, batched_admission=False), JabaSdScheduler("J1")
+        ).run()
+        assert batched.completed_packet_calls == scalar.completed_packet_calls
+        assert batched.mean_packet_delay_s == scalar.mean_packet_delay_s
+        assert batched.carried_throughput_bps == scalar.carried_throughput_bps
+        assert batched.mean_granted_m == scalar.mean_granted_m
+        assert batched.forward_utilisation == scalar.forward_utilisation
+
+
+class TestPowerControlWiring:
+    """ScenarioConfig wiring of warm start and the solver tolerance."""
+
+    SUMMARY_FIELDS = (
+        "mean_packet_delay_s",
+        "completed_packet_calls",
+        "carried_throughput_bps",
+        "mean_granted_m",
+        "grant_rate",
+        "forward_utilisation",
+        "reverse_rise_db",
+        "fch_outage_fraction",
+        "handoff_events",
+    )
+
+    @staticmethod
+    def _tolerance_scenario(warm_start: bool) -> ScenarioConfig:
+        # A tight fixed-point tolerance (with enough iteration headroom) so
+        # the warm/cold comparison measures the warm start itself, not the
+        # successive-delta truncation error of the default solver settings.
+        system = SystemConfig(
+            radio=RadioConfig(
+                num_rings=1, cell_radius_m=800.0, power_control_iterations=400
+            ),
+            mac=MacConfig(),
+        )
+        return ScenarioConfig.fast_test(
+            system=system,
+            duration_s=1.5,
+            warmup_s=0.25,
+            traffic=TrafficConfig(
+                mean_reading_time_s=1.0,
+                packet_call_min_bits=24_000,
+                packet_call_max_bits=200_000,
+            ),
+            warm_start_power_control=warm_start,
+            power_control_tolerance=1e-10,
+        )
+
+    def test_settings_reach_the_network(self):
+        scenario = ScenarioConfig.fast_test(
+            warm_start_power_control=True, power_control_tolerance=1e-9
+        )
+        simulator = DynamicSystemSimulator(scenario, JabaSdScheduler("J1"))
+        assert simulator.network.warm_start_power_control is True
+        assert simulator.system.radio.power_control_tolerance == 1e-9
+        assert simulator.network.reverse_pc.tolerance == 1e-9
+        assert simulator.network.forward_pc.tolerance == 1e-9
+        # The scenario's own system config is left untouched.
+        assert scenario.system.radio.power_control_tolerance != 1e-9
+
+    def test_tolerance_override_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig.fast_test(power_control_tolerance=0.0)
+
+    def test_cold_start_defaults_bit_identical(self, fast_scenario):
+        # The new fields default to the pre-wiring behaviour: an untouched
+        # scenario and an explicitly-cold scenario produce the same run.
+        default = DynamicSystemSimulator(fast_scenario, JabaSdScheduler("J1")).run()
+        explicit = DynamicSystemSimulator(
+            replace(
+                fast_scenario,
+                warm_start_power_control=False,
+                power_control_tolerance=(
+                    fast_scenario.system.radio.power_control_tolerance
+                ),
+            ),
+            JabaSdScheduler("J1"),
+        ).run()
+        for field in self.SUMMARY_FIELDS:
+            assert getattr(default, field) == getattr(explicit, field), field
+
+    def test_warm_start_within_tolerance(self):
+        cold = DynamicSystemSimulator(
+            self._tolerance_scenario(False), JabaSdScheduler("J1")
+        ).run()
+        warm = DynamicSystemSimulator(
+            self._tolerance_scenario(True), JabaSdScheduler("J1")
+        ).run()
+        for field in self.SUMMARY_FIELDS:
+            a, b = getattr(cold, field), getattr(warm, field)
+            if isinstance(a, float):
+                assert b == pytest.approx(a, rel=1e-6, abs=1e-9), field
+            else:
+                assert a == b, field
