@@ -11,8 +11,8 @@ layer needs (Figure 2 of the paper).
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -13,7 +13,6 @@ marked in DESIGN.md §5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro import constants
 from repro.utils.units import db_to_linear

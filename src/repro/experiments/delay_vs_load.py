@@ -18,7 +18,7 @@ a shorter tail under heavy load.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.experiments.common import (
     ExperimentResult,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.experiments.capacity import run_capacity
 from repro.experiments.common import ExperimentResult

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 __all__ = ["LinkDirection", "BurstRequest", "BurstGrant"]
 

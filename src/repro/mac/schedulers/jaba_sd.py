@@ -27,16 +27,29 @@ Solver back-ends
     Pure marginal-efficiency heuristic (the cheap JABA-SD variant).
 ``solver="exhaustive"``
     Exact enumeration; only for tiny instances (tests).
+
+All back-ends run the vectorized solver kernels by default; ``batched=False``
+selects the scalar oracles (identical assignments, used by the parity tests
+and benchmarks).  ``warm_start=True`` additionally threads the previous
+frame's surviving assignment into the next decision as an incumbent seed —
+requests still pending keep the spreading-gain ratio they were last granted
+as the search's starting point, which tightens branch-and-bound pruning
+under heavy load.  Warm starts only ever *seed* the incumbent; infeasible
+seeds are dropped, so the cold path (default) stays bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Literal, Union
+from typing import Dict, Literal, Optional, Union
+
+import numpy as np
 
 from repro.mac.objectives import DelayAwareObjective, ThroughputObjective
+from repro.mac.requests import LinkDirection
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
 from repro.opt import (
     BoundedIntegerProgram,
+    IntegerSolution,
     solve_branch_and_bound,
     solve_exhaustive,
     solve_greedy,
@@ -68,6 +81,14 @@ class JabaSdScheduler(BurstScheduler):
         Branch-and-bound nodes spent polishing the near-optimal solution
         (0 disables the refinement; keeps the per-frame cost strictly
         bounded).
+    batched:
+        Run the vectorized solver kernels (default).  ``False`` selects the
+        scalar oracle paths; both produce identical assignments.
+    warm_start:
+        Seed each decision's incumbent with the previous frame's surviving
+        assignment of the same link (opt-in; the cold path is bit-identical).
+        Wired from :class:`repro.simulation.scenario.ScenarioConfig` via
+        ``warm_start_solver=True``.
     """
 
     def __init__(
@@ -76,6 +97,8 @@ class JabaSdScheduler(BurstScheduler):
         solver: SolverName = "near-optimal",
         max_nodes: int = 200_000,
         refine_nodes: int = 0,
+        batched: bool = True,
+        warm_start: bool = False,
     ) -> None:
         if isinstance(objective, str):
             if objective == "J1":
@@ -96,20 +119,75 @@ class JabaSdScheduler(BurstScheduler):
             raise ValueError("refine_nodes must be non-negative")
         self.max_nodes = int(max_nodes)
         self.refine_nodes = int(refine_nodes)
+        self.batched = bool(batched)
+        self.warm_start = bool(warm_start)
+        #: Previous frame's granted ``m`` per mobile, per link (warm starts).
+        self._last_assignment: Dict[LinkDirection, Dict[int, int]] = {}
         self.name = f"JABA-SD({self.objective.name}/{solver})"
 
-    def _solve(self, ip: BoundedIntegerProgram):
+    def reset_warm_start(self) -> None:
+        """Forget the remembered assignments (e.g. between simulation runs)."""
+        self._last_assignment.clear()
+
+    def _warm_values(self, problem) -> Optional[np.ndarray]:
+        """The previous frame's surviving assignment in this frame's columns."""
+        if not self.warm_start or not problem.requests:
+            return None
+        link = problem.requests[0].link
+        last = self._last_assignment.get(link)
+        if not last:
+            return None
+        values = np.fromiter(
+            (last.get(r.mobile_index, 0) for r in problem.requests),
+            dtype=int,
+            count=len(problem.requests),
+        )
+        if not values.any():
+            return None
+        return np.minimum(values, problem.upper_bounds)
+
+    def _remember(self, problem, solution: IntegerSolution) -> None:
+        if not self.warm_start or not problem.requests:
+            return
+        link = problem.requests[0].link
+        self._last_assignment[link] = {
+            request.mobile_index: int(m)
+            for request, m in zip(problem.requests, solution.values)
+            if m > 0
+        }
+
+    def _solve(self, ip: BoundedIntegerProgram, warm_values=None) -> IntegerSolution:
         if self.solver == "greedy":
-            return solve_greedy(ip)
+            return solve_greedy(ip, batched=self.batched)
         if self.solver == "exhaustive":
-            return solve_exhaustive(ip)
+            return solve_exhaustive(ip, batched=self.batched)
         if self.solver == "optimal":
-            return solve_branch_and_bound(ip, max_nodes=self.max_nodes)
+            return solve_branch_and_bound(
+                ip,
+                max_nodes=self.max_nodes,
+                batched=self.batched,
+                warm_start=warm_values,
+            )
         # near-optimal
-        solution = solve_near_optimal(ip)
+        solution = solve_near_optimal(ip, batched=self.batched)
+        if warm_values is not None:
+            warm = np.asarray(warm_values, dtype=float)
+            if ip.is_feasible(warm):
+                warm_objective = ip.objective_value(warm)
+                if warm_objective > solution.objective:
+                    solution = IntegerSolution(
+                        values=warm.astype(int),
+                        objective=warm_objective,
+                        optimal=False,
+                        nodes_explored=0,
+                    )
         if self.refine_nodes > 0:
             refined = solve_branch_and_bound(
-                ip, max_nodes=self.refine_nodes, gap_tolerance=1e-3
+                ip,
+                max_nodes=self.refine_nodes,
+                gap_tolerance=1e-3,
+                batched=self.batched,
+                warm_start=warm_values,
             )
             if refined.objective > solution.objective:
                 solution = refined
@@ -131,7 +209,8 @@ class JabaSdScheduler(BurstScheduler):
             constraint_bounds=problem.region.bounds,
             upper_bounds=problem.upper_bounds,
         )
-        solution = self._solve(ip)
+        solution = self._solve(ip, warm_values=self._warm_values(problem))
+        self._remember(problem, solution)
         return SchedulingDecision(
             assignment=solution.values,
             objective_value=float(solution.objective),

@@ -19,7 +19,13 @@ and the per-request upper bound (24).  This package provides:
 
 from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
 from repro.opt.exhaustive import solve_exhaustive
-from repro.opt.lp import solve_lp_relaxation, LpSolution
+from repro.opt.lp import (
+    LpSolution,
+    SimplexScratch,
+    simplex_lp,
+    solve_children_lp,
+    solve_lp_relaxation,
+)
 from repro.opt.branch_and_bound import solve_branch_and_bound
 from repro.opt.greedy import solve_greedy, round_lp_solution, solve_near_optimal
 
@@ -28,7 +34,10 @@ __all__ = [
     "IntegerSolution",
     "solve_exhaustive",
     "solve_lp_relaxation",
+    "solve_children_lp",
+    "simplex_lp",
     "LpSolution",
+    "SimplexScratch",
     "solve_branch_and_bound",
     "solve_greedy",
     "round_lp_solution",

@@ -7,8 +7,10 @@ branch-and-bound on the variable box:
   bound for each node — solved with the package's own dense simplex by
   default, which is faster than calling out to SciPy for the tiny problems
   produced by burst scheduling;
-* the incumbent is seeded with both the greedy heuristic and the rounded LP
-  optimum, which makes the initial gap small and the pruning aggressive;
+* the incumbent is seeded with the greedy heuristic, the rounded LP optimum
+  and (optionally) a caller-supplied warm start — the previous scheduling
+  frame's surviving assignment, which makes the initial gap small and the
+  pruning aggressive under heavy load;
 * nodes whose bound does not beat the incumbent (by more than the optional
   relative ``gap_tolerance``) are pruned;
 * branching splits on the most fractional variable of the node's LP optimum.
@@ -17,6 +19,13 @@ The number of concurrent burst requests per decision (``Nd``) is modest, but
 a node budget still protects the dynamic simulation against pathological
 instances; when it is exhausted the best incumbent is returned with
 ``optimal=False``.
+
+``batched=True`` (default) runs the vectorized back-end: node relaxations
+use the batched simplex with a shared :class:`~repro.opt.lp.SimplexScratch`,
+both child bounds of a branching level are evaluated in one
+:func:`~repro.opt.lp.solve_children_lp` sweep, and the incumbent repairs use
+the vectorized rounding kernels.  ``batched=False`` is the original scalar
+oracle; the two paths visit the same nodes and return identical solutions.
 """
 
 from __future__ import annotations
@@ -24,12 +33,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.opt.greedy import round_lp_solution, solve_greedy
-from repro.opt.lp import solve_lp_relaxation
+from repro.opt.lp import SimplexScratch, solve_children_lp, solve_lp_relaxation
 from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
 
 __all__ = ["solve_branch_and_bound"]
@@ -41,11 +50,34 @@ def _is_integral(values: np.ndarray) -> bool:
     return bool(np.all(np.abs(values - np.round(values)) <= _INTEGRALITY_TOL))
 
 
+def _warm_incumbent(
+    problem: BoundedIntegerProgram, warm_start: Optional[np.ndarray]
+) -> Optional[Tuple[np.ndarray, float]]:
+    """Validate a warm-start assignment into an incumbent candidate.
+
+    The candidate is clipped to the variable box; it seeds the incumbent only
+    when it is feasible for the *current* problem (the admissible region
+    moves between scheduling frames), otherwise it is silently dropped and
+    the search starts cold.
+    """
+    if warm_start is None:
+        return None
+    values = np.asarray(warm_start, dtype=float).ravel()
+    if values.shape != (problem.num_variables,):
+        raise ValueError("warm_start has the wrong length")
+    values = np.clip(np.round(values), 0.0, problem.upper_bounds.astype(float))
+    if not problem.is_feasible(values):
+        return None
+    return values, problem.objective_value(values)
+
+
 def solve_branch_and_bound(
     problem: BoundedIntegerProgram,
     max_nodes: int = 20_000,
     gap_tolerance: float = 0.0,
     use_scipy_lp: bool = False,
+    batched: bool = True,
+    warm_start: Optional[np.ndarray] = None,
 ) -> IntegerSolution:
     """Solve ``problem`` by LP-based branch-and-bound.
 
@@ -65,26 +97,51 @@ def solve_branch_and_bound(
         Use SciPy's HiGHS for the node relaxations instead of the built-in
         dense simplex (the built-in solver is faster on these small
         instances).
+    batched:
+        Run the vectorized back-end (default).  ``False`` selects the scalar
+        oracle; both visit the same nodes and return identical solutions.
+    warm_start:
+        Optional integer assignment seeding the incumbent (e.g. the previous
+        scheduling frame's solution).  Infeasible warm starts are ignored.
     """
     if gap_tolerance < 0.0:
         raise ValueError("gap_tolerance must be non-negative")
     n = problem.num_variables
     if n == 0:
         return IntegerSolution(values=np.zeros(0, dtype=int), objective=0.0, optimal=True)
+    incumbent0 = _warm_incumbent(problem, warm_start)
+    if batched:
+        return _solve_batched(problem, max_nodes, gap_tolerance, use_scipy_lp, incumbent0)
+    return _solve_scalar(problem, max_nodes, gap_tolerance, use_scipy_lp, incumbent0)
+
+
+def _solve_scalar(
+    problem: BoundedIntegerProgram,
+    max_nodes: int,
+    gap_tolerance: float,
+    use_scipy_lp: bool,
+    incumbent0: Optional[Tuple[np.ndarray, float]],
+) -> IntegerSolution:
+    """The original per-node implementation (parity oracle)."""
+    n = problem.num_variables
 
     # Incumbents: greedy and rounded LP.  Both are always feasible.
-    incumbent = solve_greedy(problem)
+    incumbent = solve_greedy(problem, batched=False)
     best_values = incumbent.values.astype(float)
     best_objective = incumbent.objective
+    if incumbent0 is not None and incumbent0[1] > best_objective:
+        best_values, best_objective = incumbent0[0].copy(), incumbent0[1]
 
     root_lo = np.zeros(n)
     root_hi = problem.upper_bounds.astype(float)
-    root_lp = solve_lp_relaxation(problem, root_lo, root_hi, use_scipy=use_scipy_lp)
+    root_lp = solve_lp_relaxation(
+        problem, root_lo, root_hi, use_scipy=use_scipy_lp, batched=False
+    )
     if root_lp.status == "infeasible":  # cannot happen with a valid problem box
         return IntegerSolution(
             values=np.zeros(n, dtype=int), objective=0.0, optimal=True
         )
-    rounded = round_lp_solution(problem, root_lp.values)
+    rounded = round_lp_solution(problem, root_lp.values, batched=False)
     if rounded.objective > best_objective:
         best_objective = rounded.objective
         best_values = rounded.values.astype(float)
@@ -122,7 +179,7 @@ def solve_branch_and_bound(
             continue
 
         # Cheap incumbent update from the fractional point.
-        repaired = round_lp_solution(problem, values)
+        repaired = round_lp_solution(problem, values, batched=False)
         if repaired.objective > best_objective + 1e-12:
             best_objective = repaired.objective
             best_values = repaired.values.astype(float)
@@ -136,7 +193,9 @@ def solve_branch_and_bound(
         hi_down = hi.copy()
         hi_down[branch_var] = float(floor_val)
         if hi_down[branch_var] >= lo[branch_var] - 1e-12:
-            lp_down = solve_lp_relaxation(problem, lo, hi_down, use_scipy=use_scipy_lp)
+            lp_down = solve_lp_relaxation(
+                problem, lo, hi_down, use_scipy=use_scipy_lp, batched=False
+            )
             if lp_down.status == "optimal" and accept(lp_down.objective):
                 heapq.heappush(
                     heap, (-lp_down.objective, next(counter), lo, hi_down, lp_down)
@@ -146,10 +205,126 @@ def solve_branch_and_bound(
         lo_up = lo.copy()
         lo_up[branch_var] = float(floor_val + 1)
         if lo_up[branch_var] <= hi[branch_var] + 1e-12:
-            lp_up = solve_lp_relaxation(problem, lo_up, hi, use_scipy=use_scipy_lp)
+            lp_up = solve_lp_relaxation(
+                problem, lo_up, hi, use_scipy=use_scipy_lp, batched=False
+            )
             if lp_up.status == "optimal" and accept(lp_up.objective):
                 heapq.heappush(
                     heap, (-lp_up.objective, next(counter), lo_up, hi, lp_up)
+                )
+
+    proven_optimal = (not exhausted) and gap_tolerance == 0.0
+    return IntegerSolution(
+        values=np.round(best_values).astype(int),
+        objective=float(best_objective),
+        optimal=proven_optimal,
+        nodes_explored=nodes,
+    )
+
+
+def _solve_batched(
+    problem: BoundedIntegerProgram,
+    max_nodes: int,
+    gap_tolerance: float,
+    use_scipy_lp: bool,
+    incumbent0: Optional[Tuple[np.ndarray, float]],
+) -> IntegerSolution:
+    """Vectorized back-end: batched simplex, child sweeps, scratch reuse.
+
+    Visits the same nodes in the same order as :func:`_solve_scalar` and
+    returns identical solutions — the vectorized kernels evaluate the same
+    floating-point expressions, and children are pushed in the oracle's
+    (down, up) tie-break order.
+    """
+    n = problem.num_variables
+    scratch = SimplexScratch()
+
+    incumbent = solve_greedy(problem, batched=True)
+    best_values = incumbent.values.astype(float)
+    best_objective = incumbent.objective
+    if incumbent0 is not None and incumbent0[1] > best_objective:
+        best_values, best_objective = incumbent0[0].copy(), incumbent0[1]
+
+    root_lo = np.zeros(n)
+    root_hi = problem.upper_bounds.astype(float)
+    root_lp = solve_lp_relaxation(
+        problem, root_lo, root_hi, use_scipy=use_scipy_lp, batched=True, scratch=scratch
+    )
+    if root_lp.status == "infeasible":  # cannot happen with a valid problem box
+        return IntegerSolution(
+            values=np.zeros(n, dtype=int), objective=0.0, optimal=True
+        )
+    rounded = round_lp_solution(problem, root_lp.values, batched=True)
+    if rounded.objective > best_objective:
+        best_objective = rounded.objective
+        best_values = rounded.values.astype(float)
+
+    def accept(bound: float) -> bool:
+        threshold = best_objective * (1.0 + gap_tolerance) if best_objective > 0 else (
+            best_objective + gap_tolerance
+        )
+        return bound > threshold + 1e-12
+
+    counter = itertools.count()
+    heap = [(-root_lp.objective, next(counter), root_lo, root_hi, root_lp)]
+    nodes = 0
+    exhausted = False
+
+    while heap:
+        neg_bound, _, lo, hi, lp = heapq.heappop(heap)
+        bound = -neg_bound
+        if not accept(bound):
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            exhausted = True
+            break
+
+        values = np.clip(lp.values, lo, hi)
+        if _is_integral(values):
+            candidate = np.round(values)
+            if problem.is_feasible(candidate) and (
+                problem.objective_value(candidate) > best_objective + 1e-12
+            ):
+                best_objective = problem.objective_value(candidate)
+                best_values = candidate
+            continue
+
+        repaired = round_lp_solution(problem, values, batched=True)
+        if repaired.objective > best_objective + 1e-12:
+            best_objective = repaired.objective
+            best_values = repaired.values.astype(float)
+
+        fractional = np.abs(values - np.round(values))
+        branch_var = int(np.argmax(fractional))
+        floor_val = math.floor(values[branch_var] + _INTEGRALITY_TOL)
+
+        hi_down = hi.copy()
+        hi_down[branch_var] = float(floor_val)
+        lo_up = lo.copy()
+        lo_up[branch_var] = float(floor_val + 1)
+
+        # Both child bounds of this branching level in one LP sweep over the
+        # shared scratch template (children pushed in the oracle's order).
+        if use_scipy_lp:
+            children = [
+                solve_lp_relaxation(
+                    problem, c_lo, c_hi, use_scipy=True, batched=True, scratch=scratch
+                )
+                if not np.any(c_lo > c_hi + 1e-12)
+                else None
+                for c_lo, c_hi in ((lo, hi_down), (lo_up, hi))
+            ]
+        else:
+            children = solve_children_lp(
+                problem, ((lo, hi_down), (lo_up, hi)), scratch=scratch
+            )
+        for child_lp, c_lo, c_hi in zip(children, (lo, lo_up), (hi_down, hi)):
+            if child_lp is None or child_lp.status != "optimal":
+                continue
+            if accept(child_lp.objective):
+                heapq.heappush(
+                    heap, (-child_lp.objective, next(counter), c_lo, c_hi, child_lp)
                 )
 
     proven_optimal = (not exhausted) and gap_tolerance == 0.0

@@ -3,6 +3,13 @@
 Used as ground truth in the solver tests and, at run time, for very small
 scheduling instances where enumeration is cheaper than branch-and-bound
 bookkeeping.
+
+``batched=True`` (default) enumerates the integer box in vectorized chunks:
+candidate blocks come from ``np.unravel_index`` over a flat point range (the
+same lexicographic order as ``itertools.product``), feasibility is one
+matrix product per block, and the oracle's first-strict-improver selection
+rule is replayed inside each block.  ``batched=False`` is the original
+per-point loop.
 """
 
 from __future__ import annotations
@@ -18,8 +25,13 @@ __all__ = ["solve_exhaustive"]
 #: Refuse to enumerate spaces larger than this (protects against accidents).
 MAX_ENUMERATION_POINTS = 2_000_000
 
+#: Candidate points evaluated per vectorized block.
+_CHUNK = 65_536
 
-def solve_exhaustive(problem: BoundedIntegerProgram) -> IntegerSolution:
+
+def solve_exhaustive(
+    problem: BoundedIntegerProgram, batched: bool = True
+) -> IntegerSolution:
     """Enumerate every feasible integer point and return the best one.
 
     Raises
@@ -33,6 +45,13 @@ def solve_exhaustive(problem: BoundedIntegerProgram) -> IntegerSolution:
             "search space too large for exhaustive enumeration "
             f"({problem.search_space_size():.3g} points)"
         )
+    if batched and problem.num_variables:
+        return _solve_exhaustive_batched(problem)
+    return _solve_exhaustive_scalar(problem)
+
+
+def _solve_exhaustive_scalar(problem: BoundedIntegerProgram) -> IntegerSolution:
+    """The original per-point loop (parity oracle)."""
     ranges = [range(int(u) + 1) for u in problem.upper_bounds]
     best_values = np.zeros(problem.num_variables, dtype=int)
     best_objective = problem.objective_value(best_values)
@@ -51,4 +70,40 @@ def solve_exhaustive(problem: BoundedIntegerProgram) -> IntegerSolution:
         objective=best_objective,
         optimal=True,
         nodes_explored=explored,
+    )
+
+
+def _solve_exhaustive_batched(problem: BoundedIntegerProgram) -> IntegerSolution:
+    dims = problem.upper_bounds + 1
+    total = int(np.prod(dims))
+    matrix_t = problem.constraint_matrix.T
+    # The oracle's feasibility threshold (is_feasible with its default
+    # tolerance), evaluated once for all constraint rows.
+    threshold = -1e-9 * np.maximum(1.0, problem.constraint_bounds)
+
+    best_values = np.zeros(problem.num_variables, dtype=int)
+    best_objective = problem.objective_value(best_values)
+    for start in range(0, total, _CHUNK):
+        flat = np.arange(start, min(start + _CHUNK, total))
+        candidates = np.stack(np.unravel_index(flat, dims), axis=1).astype(float)
+        slack = problem.constraint_bounds - candidates @ matrix_t
+        feasible = np.nonzero(np.all(slack >= threshold, axis=1))[0]
+        if not feasible.size:
+            continue
+        objectives = candidates[feasible] @ problem.objective
+        # Replay the oracle's strictly-improving scan in enumeration order.
+        position = 0
+        while position < objectives.size:
+            better = np.nonzero(objectives[position:] > best_objective + 1e-12)[0]
+            if not better.size:
+                break
+            position += int(better[0])
+            best_objective = float(objectives[position])
+            best_values = candidates[feasible[position]].astype(int)
+            position += 1
+    return IntegerSolution(
+        values=best_values,
+        objective=best_objective,
+        optimal=True,
+        nodes_explored=total,
     )

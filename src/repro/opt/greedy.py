@@ -6,11 +6,17 @@ they consume) and each is raised to the largest feasible integer level in
 that order.  The result is always feasible and is used both as a stand-alone
 scheduler (the "greedy" entry of experiment F6) and as the incumbent that
 seeds the branch-and-bound solver.
+
+Both entry points carry a ``batched=`` switch (mirroring the PR 1/PR 2
+pattern): the default is the vectorized kernel — the efficiency ranking is
+one matrix reduction instead of ``n`` per-index Python calls, and the
+sequential raise loop only visits variables that can still move — while
+``batched=False`` selects the original scalar oracle.  The two paths return
+**identical** ``IntegerSolution.values`` (the vectorized kernels evaluate the
+same floating-point expressions in the same order).
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 import numpy as np
 
@@ -34,8 +40,61 @@ def _efficiency(problem: BoundedIntegerProgram, index: int) -> float:
     return gain / cost
 
 
-def solve_greedy(problem: BoundedIntegerProgram) -> IntegerSolution:
-    """Greedy marginal-efficiency heuristic (always feasible, not optimal)."""
+def _efficiencies(problem: BoundedIntegerProgram) -> np.ndarray:
+    """Vectorized :func:`_efficiency` over all variables (identical floats)."""
+    gains = problem.objective
+    if problem.num_constraints:
+        bounds = np.maximum(problem.constraint_bounds, 1e-300)
+        costs = np.max(problem.constraint_matrix / bounds[:, None], axis=0)
+    else:
+        costs = np.zeros(problem.num_variables)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = gains / costs
+    return np.where(gains <= 0.0, -np.inf, np.where(costs <= 0.0, np.inf, ratios))
+
+
+def _raise_greedily(
+    problem: BoundedIntegerProgram, values: np.ndarray, order: np.ndarray
+) -> None:
+    """Raise each variable of ``order`` to its largest feasible level.
+
+    The sequential dependence is real (each raise consumes slack the next
+    decision must see), but the rooms of *all* variables are evaluated in
+    one queue-wide
+    :meth:`~repro.opt.problem.BoundedIntegerProgram.max_increments` ratio
+    test, refreshed only when a raise actually changes the assignment.
+    Between raises the cached rooms stay exact, and a cached room of 0 can
+    never recover (slack only shrinks while the variable's own bound is
+    untouched), so skipped variables match the oracle's 0-increment no-ops
+    bit for bit.
+    """
+    rooms = None
+    for j in order:
+        if rooms is None:  # lazily refreshed: only when a raise staled it
+            rooms = problem.max_increments(values)
+        room = rooms[j]
+        if room <= 0:
+            continue
+        values[j] += room
+        rooms = None
+
+
+def solve_greedy(
+    problem: BoundedIntegerProgram, batched: bool = True
+) -> IntegerSolution:
+    """Greedy marginal-efficiency heuristic (always feasible, not optimal).
+
+    ``batched=True`` (default) ranks all variables with one matrix reduction
+    and prunes dead variables from the raise loop; ``batched=False`` is the
+    scalar oracle.  Both return identical values.
+    """
+    if batched:
+        return _solve_greedy_batched(problem)
+    return _solve_greedy_scalar(problem)
+
+
+def _solve_greedy_scalar(problem: BoundedIntegerProgram) -> IntegerSolution:
+    """The original per-index implementation (parity oracle)."""
     n = problem.num_variables
     values = np.zeros(n, dtype=float)
     order = sorted(range(n), key=lambda j: -_efficiency(problem, j))
@@ -53,7 +112,28 @@ def solve_greedy(problem: BoundedIntegerProgram) -> IntegerSolution:
     )
 
 
-def solve_near_optimal(problem: BoundedIntegerProgram) -> IntegerSolution:
+def _solve_greedy_batched(problem: BoundedIntegerProgram) -> IntegerSolution:
+    n = problem.num_variables
+    values = np.zeros(n, dtype=float)
+    if n:
+        # Stable argsort of the negated efficiencies == the oracle's stable
+        # Python sort with key -efficiency (ties keep index order).
+        efficiencies = _efficiencies(problem)
+        order = np.argsort(-efficiencies, kind="stable")
+        # The oracle skips non-positive objective entries inside its loop.
+        order = order[problem.objective[order] > 0.0]
+        _raise_greedily(problem, values, order)
+    return IntegerSolution(
+        values=values.astype(int),
+        objective=problem.objective_value(values),
+        optimal=False,
+        nodes_explored=0,
+    )
+
+
+def solve_near_optimal(
+    problem: BoundedIntegerProgram, batched: bool = True
+) -> IntegerSolution:
     """Best of the greedy heuristic and the rounded LP relaxation.
 
     This is the solver the dynamic simulations use for JABA-SD: on the burst
@@ -63,13 +143,13 @@ def solve_near_optimal(problem: BoundedIntegerProgram) -> IntegerSolution:
     """
     from repro.opt.lp import solve_lp_relaxation
 
-    greedy = solve_greedy(problem)
+    greedy = solve_greedy(problem, batched=batched)
     if problem.num_variables == 0:
         return greedy
-    lp = solve_lp_relaxation(problem, use_scipy=False)
+    lp = solve_lp_relaxation(problem, use_scipy=False, batched=batched)
     if lp.status != "optimal":  # pragma: no cover - box relaxation is always feasible
         return greedy
-    rounded = round_lp_solution(problem, lp.values)
+    rounded = round_lp_solution(problem, lp.values, batched=batched)
     best = rounded if rounded.objective >= greedy.objective else greedy
     return IntegerSolution(
         values=best.values,
@@ -80,14 +160,15 @@ def solve_near_optimal(problem: BoundedIntegerProgram) -> IntegerSolution:
 
 
 def round_lp_solution(
-    problem: BoundedIntegerProgram, lp_values: np.ndarray
+    problem: BoundedIntegerProgram, lp_values: np.ndarray, batched: bool = True
 ) -> IntegerSolution:
     """Round an LP-relaxation point down, then greedily repair upwards.
 
     Flooring a feasible continuous point keeps it feasible (the constraint
     matrix is non-negative); the repair pass then re-invests any slack
     created by the rounding, visiting variables in decreasing fractional
-    part.
+    part.  ``batched=True`` (default) prunes the repair loop with one
+    queue-wide room evaluation; ``batched=False`` is the scalar oracle.
     """
     lp_values = np.asarray(lp_values, dtype=float).ravel()
     if lp_values.shape != (problem.num_variables,):
@@ -97,12 +178,16 @@ def round_lp_solution(
         values = np.zeros_like(values)
     fractions = lp_values - np.floor(lp_values)
     order = np.argsort(-fractions)
-    for j in order:
-        if problem.objective[j] <= 0.0:
-            continue
-        room = problem.max_increment(values, int(j))
-        if room > 0:
-            values[int(j)] += room
+    if batched:
+        order = order[problem.objective[order] > 0.0]
+        _raise_greedily(problem, values, order)
+    else:
+        for j in order:
+            if problem.objective[j] <= 0.0:
+                continue
+            room = problem.max_increment(values, int(j))
+            if room > 0:
+                values[int(j)] += room
     return IntegerSolution(
         values=values.astype(int),
         objective=problem.objective_value(values),

@@ -16,7 +16,6 @@ forward- and reverse-link admissible regions of the paper (eqs. (7) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -101,6 +100,31 @@ class BoundedIntegerProgram:
         # an already-overloaded cell; clamp to zero (nothing can be admitted).
         self.constraint_bounds = np.maximum(b, 0.0)
         self.upper_bounds = np.floor(u).astype(int)
+        # Lazily-built caches shared by the vectorized solver kernels.
+        self._positive_mask: np.ndarray | None = None
+        self._safe_columns: np.ndarray | None = None
+
+    # -- cached kernels shared by the vectorized solvers -------------------------
+    @property
+    def positive_mask(self) -> np.ndarray:
+        """Boolean mask of strictly positive constraint coefficients."""
+        if self._positive_mask is None:
+            self._positive_mask = self.constraint_matrix > 0.0
+        return self._positive_mask
+
+    @property
+    def safe_columns(self) -> np.ndarray:
+        """Constraint matrix with non-positive entries replaced by 1.
+
+        Matches the divisor ``np.where(column > 0, column, 1)`` of
+        :meth:`max_increment`, so ratio tests over the full matrix produce the
+        same floats as the per-column oracle.
+        """
+        if self._safe_columns is None:
+            self._safe_columns = np.where(
+                self.positive_mask, self.constraint_matrix, 1.0
+            )
+        return self._safe_columns
 
     # -- basic properties --------------------------------------------------------
     @property
@@ -150,6 +174,32 @@ class BoundedIntegerProgram:
             ratios = np.where(column > 0.0, slack / np.where(column > 0.0, column, 1.0), np.inf)
         room_resources = np.floor(np.min(ratios) + 1e-12)
         return int(max(0, min(room_bound, room_resources)))
+
+    def max_increments(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`max_increment` for every variable at once.
+
+        Element ``j`` equals ``max_increment(values, j)`` exactly (same
+        division, reduction and rounding order), evaluated with one matrix
+        ratio test instead of ``n`` per-column Python calls.  Because the
+        constraint matrix is non-negative and ``values`` only ever grow
+        during a greedy raise, an entry that reaches 0 stays 0 — callers use
+        this to prune variables from sequential repair loops.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        slack = self.constraint_bounds - self.constraint_matrix @ values
+        if self.num_constraints:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(
+                    self.positive_mask, slack[:, None] / self.safe_columns, np.inf
+                )
+            room_resources = np.floor(ratios.min(axis=0) + 1e-12)
+        else:  # no resource rows: only the variable box limits the raise
+            room_resources = np.full(self.num_variables, np.inf)
+        # min() with the finite box bound keeps the result finite even for
+        # all-zero columns (whose resource room is +inf).
+        room_bound = self.upper_bounds - values
+        room = np.maximum(0.0, np.minimum(room_bound, room_resources))
+        return room.astype(int)
 
     def search_space_size(self) -> float:
         """Number of points in the integer box (``prod(u_j + 1)``)."""

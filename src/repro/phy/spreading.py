@@ -19,7 +19,7 @@ FCH throughput (it does not depend on the local-mean CSI or the SCH rate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import constants
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int

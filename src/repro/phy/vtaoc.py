@@ -14,8 +14,7 @@ ratio; :func:`instantaneous_csi` implements it.
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 

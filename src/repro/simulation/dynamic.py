@@ -136,6 +136,16 @@ class DynamicSystemSimulator:
         self.controller = BurstAdmissionController(
             system, scheduler, batched=scenario.batched_admission
         )
+        # Opt-in cross-frame incumbent warm starts: the scheduler keeps the
+        # surviving assignment of each link between frames.  The flag is
+        # always (re)assigned and the memory always cleared so a scheduler
+        # instance reused across simulators cannot leak warm-start state
+        # into a cold run.  Policies without warm-start support (the
+        # baselines) ignore the flag.
+        if hasattr(scheduler, "warm_start"):
+            scheduler.warm_start = scenario.warm_start_solver
+        if hasattr(scheduler, "reset_warm_start"):
+            scheduler.reset_warm_start()
 
         # -- traffic ----------------------------------------------------------------
         traffic_rng = self._rng_factory.child("traffic")

@@ -88,6 +88,13 @@ class ScenarioConfig:
         frame's solution (see :class:`repro.cdma.network.CdmaNetwork`).
         Cold start stays the default so seed numerics remain bit-for-bit
         reproducible; warm start agrees within the solver tolerance.
+    warm_start_solver:
+        Seed each scheduling decision's incumbent with the previous frame's
+        surviving assignment (see
+        :class:`repro.mac.schedulers.JabaSdScheduler`); tightens
+        branch-and-bound pruning under heavy load.  Cold start stays the
+        default and is bit-identical; schedulers without warm-start support
+        ignore the flag.
     power_control_tolerance:
         Override of ``system.radio.power_control_tolerance`` for this
         scenario; ``None`` keeps the radio-config value.
@@ -106,6 +113,7 @@ class ScenarioConfig:
     traffic: TrafficConfig = field(default_factory=TrafficConfig)
     mobility: MobilityConfig = field(default_factory=MobilityConfig)
     warm_start_power_control: bool = False
+    warm_start_solver: bool = False
     power_control_tolerance: Optional[float] = None
     batched_admission: bool = True
 

@@ -14,7 +14,7 @@ is how experiments F4 and T3 are produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import constants
 from repro.cdma.entities import BaseStation, MobileStation, UserClass
 from repro.cdma.loading import ForwardLinkLoad, ReverseLinkLoad
 from repro.cdma.pilot import forward_pilot_ec_io, reverse_pilot_ec_io

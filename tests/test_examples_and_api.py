@@ -1,7 +1,6 @@
 """Smoke tests for the example scripts and the public package API."""
 
 import importlib
-import sys
 from pathlib import Path
 
 import pytest

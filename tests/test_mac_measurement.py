@@ -5,8 +5,7 @@ import pytest
 
 from repro.cdma.handoff import ActiveSetState
 from repro.cdma.loading import ForwardLinkLoad, ReverseLinkLoad
-from repro.cdma.network import CdmaNetwork, NetworkSnapshot
-from repro.config import SystemConfig
+from repro.cdma.network import NetworkSnapshot
 from repro.mac.measurement import (
     AdmissibleRegion,
     ForwardLinkMeasurement,

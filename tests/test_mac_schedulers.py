@@ -168,6 +168,78 @@ class TestJabaSd:
             JabaSdScheduler("J1", refine_nodes=-1)
 
 
+class TestJabaSdBatchedAndWarmStart:
+    def _problem(self, seed=3, num_requests=6):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0.05, 1.0, size=(3, num_requests))
+        costs[rng.random(costs.shape) < 0.4] = 0.0
+        costs[0, costs.sum(axis=0) == 0.0] = 0.3
+        return make_problem(
+            costs=costs,
+            bounds=[5.0, 4.0, 6.0],
+            delta_rho=rng.uniform(0.5, 3.0, num_requests),
+        )
+
+    @pytest.mark.parametrize("solver", ["greedy", "near-optimal", "optimal", "exhaustive"])
+    def test_scalar_oracle_matches_batched_default(self, solver):
+        upper = 2 if solver == "exhaustive" else 16
+        problem = self._problem()
+        problem.upper_bounds = np.full(len(problem.requests), upper, dtype=int)
+        batched = JabaSdScheduler("J1", solver=solver).assign(problem)
+        scalar = JabaSdScheduler("J1", solver=solver, batched=False).assign(problem)
+        assert np.array_equal(batched.assignment, scalar.assignment)
+
+    def test_cold_default_keeps_no_memory(self):
+        scheduler = JabaSdScheduler("J1", solver="optimal")
+        scheduler.assign(self._problem())
+        assert scheduler.warm_start is False
+        assert scheduler._last_assignment == {}
+
+    def test_warm_start_remembers_surviving_assignment(self):
+        scheduler = JabaSdScheduler("J1", solver="optimal", warm_start=True)
+        problem = self._problem()
+        first = scheduler.assign(problem)
+        link = problem.requests[0].link
+        granted = {
+            request.mobile_index: m
+            for request, m in zip(problem.requests, first.assignment)
+            if m > 0
+        }
+        assert scheduler._last_assignment[link] == granted
+        # The warm vector maps the remembered grants onto the new columns.
+        warm = scheduler._warm_values(problem)
+        assert warm is not None
+        assert np.array_equal(warm, np.minimum(first.assignment, problem.upper_bounds))
+
+    def test_warm_start_decision_stays_optimal(self):
+        cold = JabaSdScheduler("J1", solver="optimal")
+        warm = JabaSdScheduler("J1", solver="optimal", warm_start=True)
+        problem = self._problem(seed=9)
+        cold_decision = cold.assign(problem)
+        warm.assign(problem)  # populate the memory
+        warm_decision = warm.assign(problem)  # second frame, seeded
+        assert warm_decision.objective_value == pytest.approx(
+            cold_decision.objective_value, rel=1e-9
+        )
+        assert warm_decision.optimal
+
+    def test_warm_start_near_optimal_never_worse_than_cold(self):
+        cold = JabaSdScheduler("J1", solver="near-optimal")
+        warm = JabaSdScheduler("J1", solver="near-optimal", warm_start=True)
+        problem = self._problem(seed=13, num_requests=8)
+        cold_decision = cold.assign(problem)
+        warm.assign(problem)
+        warm_decision = warm.assign(problem)
+        assert warm_decision.objective_value >= cold_decision.objective_value - 1e-9
+
+    def test_reset_warm_start_clears_memory(self):
+        scheduler = JabaSdScheduler("J1", solver="optimal", warm_start=True)
+        scheduler.assign(self._problem())
+        assert scheduler._last_assignment
+        scheduler.reset_warm_start()
+        assert scheduler._last_assignment == {}
+
+
 class TestFcfs:
     def test_serves_in_arrival_order(self):
         # The head-of-line request exhausts the single resource.

@@ -90,6 +90,60 @@ class TestEvaluation:
             problem.is_feasible([1, 2, 3])
 
 
+class TestMaxIncrements:
+    def test_matches_scalar_oracle_randomized(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            num_vars = int(rng.integers(1, 9))
+            num_constraints = int(rng.integers(1, 5))
+            matrix = rng.uniform(0.0, 1.0, size=(num_constraints, num_vars))
+            matrix[rng.random(matrix.shape) < 0.4] = 0.0
+            problem = BoundedIntegerProgram(
+                objective=rng.uniform(0.1, 2.0, size=num_vars),
+                constraint_matrix=matrix,
+                constraint_bounds=rng.uniform(0.5, 5.0, size=num_constraints),
+                upper_bounds=rng.integers(0, 6, size=num_vars),
+            )
+            values = rng.integers(0, 3, size=num_vars).astype(float)
+            batched = problem.max_increments(values)
+            for index in range(num_vars):
+                assert batched[index] == problem.max_increment(values, index)
+
+    def test_unconstrained_problem_limited_by_box_only(self):
+        problem = BoundedIntegerProgram(
+            objective=[1.0, 2.0],
+            constraint_matrix=np.zeros((0, 2)),
+            constraint_bounds=np.zeros(0),
+            upper_bounds=[3, 5],
+        )
+        assert np.array_equal(problem.max_increments(np.zeros(2)), [3, 5])
+
+    def test_zero_column_variable_limited_by_box(self):
+        problem = BoundedIntegerProgram(
+            objective=[1.0, 1.0],
+            constraint_matrix=[[1.0, 0.0]],
+            constraint_bounds=[2.0],
+            upper_bounds=[5, 4],
+        )
+        assert np.array_equal(problem.max_increments(np.zeros(2)), [2, 4])
+
+    def test_rooms_never_recover_as_values_grow(self):
+        """The monotonicity the batched greedy prune relies on."""
+        rng = np.random.default_rng(12)
+        matrix = rng.uniform(0.0, 1.0, size=(3, 5))
+        problem = BoundedIntegerProgram(
+            objective=np.ones(5),
+            constraint_matrix=matrix,
+            constraint_bounds=rng.uniform(1.0, 4.0, size=3),
+            upper_bounds=np.full(5, 6),
+        )
+        values = np.zeros(5)
+        rooms = problem.max_increments(values)
+        values[0] += rooms[0]
+        shrunk = problem.max_increments(values)
+        assert np.all(shrunk[1:] <= rooms[1:])
+
+
 class TestIntegerSolution:
     def test_values_are_int_copies(self):
         values = np.array([1.0, 2.0])

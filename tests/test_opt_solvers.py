@@ -13,6 +13,7 @@ from repro.opt import (
     solve_lp_relaxation,
     solve_near_optimal,
 )
+from repro.opt import SimplexScratch, solve_children_lp
 from repro.opt.exhaustive import MAX_ENUMERATION_POINTS
 from repro.opt.lp import simplex_lp
 
@@ -175,6 +176,191 @@ class TestGreedyAndRounding:
             optimal = solve_branch_and_bound(problem)
             assert greedy.objective <= near.objective + 1e-9
             assert near.objective <= optimal.objective + 1e-9
+
+
+class TestBatchedParity:
+    """The vectorized kernels must return the scalar oracles' assignments."""
+
+    def test_all_backends_agree_with_scalar_oracles(self):
+        rng = np.random.default_rng(20)
+        for _ in range(30):
+            num_vars = int(rng.integers(1, 10))
+            problem = random_problem(
+                rng, num_vars=num_vars, num_constraints=int(rng.integers(1, 6))
+            )
+            greedy_s = solve_greedy(problem, batched=False)
+            greedy_b = solve_greedy(problem, batched=True)
+            assert np.array_equal(greedy_s.values, greedy_b.values)
+
+            lp_s = solve_lp_relaxation(problem, use_scipy=False, batched=False)
+            lp_b = solve_lp_relaxation(problem, use_scipy=False, batched=True)
+            assert np.array_equal(lp_s.values, lp_b.values)
+
+            round_s = round_lp_solution(problem, lp_s.values, batched=False)
+            round_b = round_lp_solution(problem, lp_b.values, batched=True)
+            assert np.array_equal(round_s.values, round_b.values)
+
+            near_s = solve_near_optimal(problem, batched=False)
+            near_b = solve_near_optimal(problem, batched=True)
+            assert np.array_equal(near_s.values, near_b.values)
+
+            bnb_s = solve_branch_and_bound(problem, batched=False)
+            bnb_b = solve_branch_and_bound(problem, batched=True)
+            assert np.array_equal(bnb_s.values, bnb_b.values)
+            assert bnb_s.nodes_explored == bnb_b.nodes_explored
+
+            if problem.search_space_size() <= 50_000:
+                exhaustive_s = solve_exhaustive(problem, batched=False)
+                exhaustive_b = solve_exhaustive(problem, batched=True)
+                assert np.array_equal(exhaustive_s.values, exhaustive_b.values)
+                assert exhaustive_s.nodes_explored == exhaustive_b.nodes_explored
+
+    def test_simplex_scratch_reuse_across_boxes(self):
+        """One scratch serving many node relaxations must not leak state."""
+        rng = np.random.default_rng(21)
+        problem = random_problem(rng, num_vars=6, num_constraints=4)
+        scratch = SimplexScratch()
+        boxes = []
+        for _ in range(6):
+            lo = rng.integers(0, 2, size=6).astype(float)
+            hi = np.maximum(lo, rng.integers(1, 5, size=6).astype(float))
+            boxes.append((lo, hi))
+        shared = solve_children_lp(problem, boxes, scratch=scratch)
+        for (lo, hi), solution in zip(boxes, shared):
+            fresh = simplex_lp(problem, lo, hi, batched=False)
+            assert solution.status == fresh.status
+            if solution.status == "optimal":
+                assert np.array_equal(solution.values, fresh.values)
+
+    def test_children_sweep_reports_crossed_bounds_infeasible(self):
+        problem = BoundedIntegerProgram([1.0, 1.0], [[1.0, 1.0]], [4.0], [3, 3])
+        children = solve_children_lp(
+            problem,
+            [
+                (np.array([2.0, 0.0]), np.array([1.0, 3.0])),  # lo > hi
+                (np.zeros(2), np.array([3.0, 3.0])),
+            ],
+        )
+        assert children[0].status == "infeasible"
+        assert children[1].status == "optimal"
+
+    def test_max_increments_prune_is_safe_under_tight_resources(self):
+        # A fully saturated constraint: every greedy step sees zero room.
+        problem = BoundedIntegerProgram(
+            objective=[2.0, 1.0, 3.0],
+            constraint_matrix=[[1.0, 2.0, 1.0]],
+            constraint_bounds=[0.0],
+            upper_bounds=[4, 4, 4],
+        )
+        scalar = solve_greedy(problem, batched=False)
+        batched = solve_greedy(problem, batched=True)
+        assert np.array_equal(scalar.values, batched.values)
+        assert np.all(batched.values == 0)
+
+
+class TestNodeBudgetAndGap:
+    """Node-budget exhaustion and gap-tolerance early-stop paths."""
+
+    def _hard_problem(self):
+        rng = np.random.default_rng(22)
+        return random_problem(rng, num_vars=12, num_constraints=5, max_bound=8)
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_node_budget_exhaustion_returns_incumbent(self, batched):
+        problem = self._hard_problem()
+        unbounded = solve_branch_and_bound(problem, batched=batched)
+        assert unbounded.nodes_explored > 3  # the budget below really binds
+        budget = 2
+        solution = solve_branch_and_bound(problem, max_nodes=budget, batched=batched)
+        assert not solution.optimal
+        # The exhausting pop is counted before the loop breaks.
+        assert solution.nodes_explored == budget + 1
+        assert problem.is_feasible(solution.values)
+        greedy = solve_greedy(problem, batched=batched)
+        assert solution.objective >= greedy.objective - 1e-9
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_gap_tolerance_early_stop_bounds_the_gap(self, batched):
+        problem = self._hard_problem()
+        exact = solve_branch_and_bound(problem, batched=batched)
+        tolerance = 0.25
+        relaxed = solve_branch_and_bound(
+            problem, gap_tolerance=tolerance, batched=batched
+        )
+        assert not relaxed.optimal
+        assert relaxed.nodes_explored <= exact.nodes_explored
+        assert problem.is_feasible(relaxed.values)
+        # The returned incumbent is within the accepted relative gap.
+        assert relaxed.objective * (1.0 + tolerance) >= exact.objective - 1e-9
+
+    def test_gap_tolerance_paths_agree(self):
+        problem = self._hard_problem()
+        scalar = solve_branch_and_bound(problem, gap_tolerance=0.1, batched=False)
+        batched = solve_branch_and_bound(problem, gap_tolerance=0.1, batched=True)
+        assert np.array_equal(scalar.values, batched.values)
+        assert scalar.nodes_explored == batched.nodes_explored
+
+
+class TestWarmStart:
+    def test_feasible_warm_start_preserves_optimality(self):
+        rng = np.random.default_rng(23)
+        for _ in range(10):
+            problem = random_problem(rng, num_vars=5, max_bound=4)
+            exact = solve_exhaustive(problem)
+            for batched in (False, True):
+                warm = solve_branch_and_bound(
+                    problem, batched=batched, warm_start=exact.values
+                )
+                assert warm.objective == pytest.approx(exact.objective, rel=1e-9)
+                assert warm.optimal
+
+    def test_warm_start_never_below_seed_objective(self):
+        rng = np.random.default_rng(24)
+        problem = random_problem(rng, num_vars=10, num_constraints=4, max_bound=6)
+        seed = solve_greedy(problem)
+        # Even with a budget of one node, the warm seed survives as incumbent.
+        solution = solve_branch_and_bound(
+            problem, max_nodes=1, warm_start=seed.values
+        )
+        assert solution.objective >= seed.objective - 1e-9
+
+    def test_infeasible_warm_start_is_dropped(self):
+        problem = BoundedIntegerProgram(
+            objective=[1.0, 1.0],
+            constraint_matrix=[[1.0, 1.0]],
+            constraint_bounds=[2.0],
+            upper_bounds=[5, 5],
+        )
+        cold = solve_branch_and_bound(problem)
+        warm = solve_branch_and_bound(problem, warm_start=np.array([5, 5]))
+        assert np.array_equal(cold.values, warm.values)
+        assert cold.nodes_explored == warm.nodes_explored
+
+    def test_warm_start_wrong_length_raises(self):
+        problem = BoundedIntegerProgram([1.0], [[1.0]], [1.0], [1])
+        with pytest.raises(ValueError):
+            solve_branch_and_bound(problem, warm_start=np.array([1, 2]))
+
+
+class TestSolverAgreementSmallQ:
+    """Randomized greedy / B&B / exhaustive agreement at small queue sizes."""
+
+    def test_agreement_suite(self):
+        rng = np.random.default_rng(25)
+        for _ in range(25):
+            num_vars = int(rng.integers(2, 7))
+            problem = random_problem(rng, num_vars=num_vars, max_bound=3)
+            exact = solve_exhaustive(problem)
+            for batched in (False, True):
+                bnb = solve_branch_and_bound(problem, batched=batched)
+                greedy = solve_greedy(problem, batched=batched)
+                near = solve_near_optimal(problem, batched=batched)
+                assert bnb.objective == pytest.approx(exact.objective, rel=1e-9, abs=1e-9)
+                assert greedy.objective <= bnb.objective + 1e-9
+                assert greedy.objective <= near.objective + 1e-9
+                assert near.objective <= bnb.objective + 1e-9
+                for solution in (bnb, greedy, near):
+                    assert problem.is_feasible(solution.values)
 
 
 class TestLpRelaxation:

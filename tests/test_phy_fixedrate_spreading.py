@@ -1,6 +1,5 @@
 """Tests for the fixed-rate PHY baseline and the spreading-stage relations."""
 
-import numpy as np
 import pytest
 
 from repro.phy.fixedrate import FixedRatePhy

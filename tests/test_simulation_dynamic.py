@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.config import MacConfig, RadioConfig, SystemConfig
@@ -12,7 +11,6 @@ from repro.mac import (
     JabaSdScheduler,
     TemporalExtensionScheduler,
 )
-from repro.mac.requests import LinkDirection
 from repro.simulation import DynamicSystemSimulator, ScenarioConfig
 from repro.simulation.scenario import TrafficConfig
 
@@ -208,3 +206,58 @@ class TestPowerControlWiring:
                 assert b == pytest.approx(a, rel=1e-6, abs=1e-9), field
             else:
                 assert a == b, field
+
+
+class TestSolverWarmStartWiring:
+    """ScenarioConfig(warm_start_solver=...) reaches the scheduler."""
+
+    def test_flag_defaults_to_cold(self):
+        scheduler = JabaSdScheduler("J1", solver="optimal")
+        DynamicSystemSimulator(ScenarioConfig.fast_test(), scheduler)
+        assert scheduler.warm_start is False
+
+    def test_flag_reaches_scheduler_and_resets_memory(self):
+        scheduler = JabaSdScheduler("J1", solver="optimal")
+        scheduler._last_assignment["stale"] = {0: 1}
+        DynamicSystemSimulator(
+            ScenarioConfig.fast_test(warm_start_solver=True), scheduler
+        )
+        assert scheduler.warm_start is True
+        assert scheduler._last_assignment == {}
+
+    def test_reused_scheduler_is_cooled_down_by_cold_scenario(self):
+        """A warm run must not leak warm-start state into a later cold run."""
+        scheduler = JabaSdScheduler("J1", solver="optimal")
+        DynamicSystemSimulator(
+            ScenarioConfig.fast_test(warm_start_solver=True), scheduler
+        ).run()
+        assert scheduler.warm_start is True
+        assert scheduler._last_assignment
+        DynamicSystemSimulator(ScenarioConfig.fast_test(), scheduler)
+        assert scheduler.warm_start is False
+        assert scheduler._last_assignment == {}
+
+    def test_baseline_scheduler_ignores_flag(self):
+        simulator = DynamicSystemSimulator(
+            ScenarioConfig.fast_test(warm_start_solver=True), FcfsScheduler()
+        )
+        result = simulator.run()
+        assert result.completed_packet_calls >= 0
+
+    def test_warm_run_matches_cold_with_optimal_solver(self):
+        """Warm starts only seed the incumbent: the proven optima agree."""
+        cold = DynamicSystemSimulator(
+            ScenarioConfig.fast_test(), JabaSdScheduler("J1", solver="optimal")
+        ).run()
+        warm_scheduler = JabaSdScheduler("J1", solver="optimal")
+        warm = DynamicSystemSimulator(
+            ScenarioConfig.fast_test(warm_start_solver=True), warm_scheduler
+        ).run()
+        assert warm_scheduler._last_assignment  # memory was exercised
+        assert warm.completed_packet_calls == cold.completed_packet_calls
+        assert warm.carried_throughput_bps == pytest.approx(
+            cold.carried_throughput_bps, rel=1e-9
+        )
+        assert warm.mean_packet_delay_s == pytest.approx(
+            cold.mean_packet_delay_s, rel=1e-9
+        )
