@@ -1,9 +1,9 @@
 """CI benchmark regression gate.
 
-Compares the smoke-scale reports of the three perf harnesses
+Compares the smoke-scale reports of the four perf harnesses
 (``bench_t4_frame_rate.py``, ``bench_admission_queue.py``,
-``bench_solvers.py``) against committed baselines and fails (non-zero exit)
-when the optimized paths regress:
+``bench_solvers.py``, ``bench_fleet.py``) against committed baselines and
+fails (non-zero exit) when the optimized paths regress:
 
 * every parity verdict in the smoke reports must hold (the optimized kernels
   must still produce the guaranteed numerics);
@@ -31,7 +31,8 @@ Usage (CI runs exactly this)::
     python benchmarks/check_bench_regression.py \
         --frame-rate BENCH_frame_rate.smoke.json \
         --admission BENCH_admission.smoke.json \
-        --solvers BENCH_solvers.smoke.json
+        --solvers BENCH_solvers.smoke.json \
+        --fleet BENCH_fleet.smoke.json
 """
 
 from __future__ import annotations
@@ -80,6 +81,21 @@ def _solvers_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
     return measurements, failures
 
 
+def _fleet_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
+    failures = []
+    if not report.get("parity_all_ok", False):
+        broken = [
+            name
+            for name, verdict in report.get("parity", {}).items()
+            if not verdict
+        ]
+        failures.append(
+            "fleet: scalar/fleet statistical parity broke "
+            f"({', '.join(broken) or 'unknown check'})"
+        )
+    return dict(report.get("speedup_trajectory", {})), failures
+
+
 def _gate(
     name: str,
     measurements: Dict[str, float],
@@ -114,6 +130,7 @@ def main(argv=None) -> int:
     parser.add_argument("--frame-rate", type=Path, default=Path("BENCH_frame_rate.smoke.json"))
     parser.add_argument("--admission", type=Path, default=Path("BENCH_admission.smoke.json"))
     parser.add_argument("--solvers", type=Path, default=Path("BENCH_solvers.smoke.json"))
+    parser.add_argument("--fleet", type=Path, default=Path("BENCH_fleet.smoke.json"))
     parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
     parser.add_argument(
         "--full-solvers-baseline",
@@ -136,6 +153,7 @@ def main(argv=None) -> int:
         "frame_rate": (args.frame_rate, _frame_rate_measurements),
         "admission": (args.admission, _admission_measurements),
         "solvers": (args.solvers, _solvers_measurements),
+        "fleet": (args.fleet, _fleet_measurements),
     }
     for name, (path, extract) in reports.items():
         if not path.exists():

@@ -10,6 +10,7 @@ layer needs (Figure 2 of the paper).
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -135,6 +136,14 @@ class CdmaNetwork:
         Yates iterations substantially; the solution agrees with a cold
         start to within the solver tolerance (cold start stays the default
         so snapshot numerics are reproducible bit-for-bit across versions).
+    mobility_fleet:
+        Optional structure-of-arrays mobility back-end (e.g.
+        :class:`repro.geometry.mobility.RandomDirectionFleet`) adopted
+        instead of building a :class:`MobilityBatch` over the mobiles' model
+        objects.  Must expose ``positions`` of shape ``(J, 2)`` (adopted as
+        the network's position storage) and
+        ``advance(dt_s, out_moved=...)``.  The mobiles' own ``mobility``
+        models are then placement-only and never advanced by the network.
 
     Notes
     -----
@@ -152,6 +161,7 @@ class CdmaNetwork:
         rng: np.random.Generator,
         layout: Optional[HexagonalCellLayout] = None,
         warm_start_power_control: bool = False,
+        mobility_fleet=None,
     ) -> None:
         self.config = config
         radio = config.radio
@@ -263,12 +273,23 @@ class CdmaNetwork:
         ).reshape(num_mobiles)
         for row, mobile in enumerate(self.mobiles):
             mobile._add_fch_observer(self._make_fch_sync(row))
-        self._mobility_batch = MobilityBatch(
-            [m.mobility for m in self.mobiles],
-            positions_out=np.zeros((num_mobiles, 2)),
-        )
+        if mobility_fleet is not None:
+            if mobility_fleet.positions.shape != (num_mobiles, 2):
+                raise ValueError(
+                    "mobility_fleet.positions must have shape (num_mobiles, 2)"
+                )
+            self._mobility_batch = mobility_fleet
+        else:
+            self._mobility_batch = MobilityBatch(
+                [m.mobility for m in self.mobiles],
+                positions_out=np.zeros((num_mobiles, 2)),
+            )
         self._positions_arr = self._mobility_batch.positions
         self._moved_buf = np.zeros(num_mobiles)
+        #: Optional per-stage wall-time accumulator (seconds); when set to a
+        #: dict, :meth:`advance` adds its mobility kernel time under
+        #: ``"mobility"`` (used by the fleet benchmark harness).
+        self.stage_times_s: Optional[dict] = None
 
         # Warm-start state for the power-control solvers.
         self.warm_start_power_control = bool(warm_start_power_control)
@@ -331,6 +352,31 @@ class CdmaNetwork:
     def _fch_rate_factors(self) -> np.ndarray:
         return self._fch_rate
 
+    def set_fch_state(
+        self, indices: np.ndarray, active: np.ndarray, rate_factor: np.ndarray
+    ) -> None:
+        """Bulk-update the FCH activity/rate of a subset of mobiles.
+
+        Diffs the desired per-mobile state against the current arrays and
+        writes only the *changed* entries through the
+        :class:`MobileStation` attributes, so the entity objects (and any
+        other network observing them) stay authoritative while a frame with
+        few transitions costs O(changes) attribute writes instead of one
+        write per mobile.  Used by the structure-of-arrays fleet path of the
+        dynamic simulator.
+        """
+        indices = np.asarray(indices, dtype=int)
+        active = np.asarray(active, dtype=bool)
+        rate_factor = np.asarray(rate_factor, dtype=float)
+        changed = (self._fch_active[indices] != active) | (
+            self._fch_rate[indices] != rate_factor
+        )
+        mobiles = self.mobiles
+        for pos in np.flatnonzero(changed):
+            mobile = mobiles[int(indices[pos])]
+            mobile.fch_active = bool(active[pos])
+            mobile.fch_rate_factor = float(rate_factor[pos])
+
     def _update_handoff(self) -> None:
         gains = self.link_gains.local_mean_gain()
         if gains.shape[0] == 0:
@@ -351,7 +397,14 @@ class CdmaNetwork:
         """
         if dt_s < 0.0:
             raise ValueError("dt_s must be non-negative")
-        self._mobility_batch.advance(dt_s, out_moved=self._moved_buf)
+        if self.stage_times_s is None:
+            self._mobility_batch.advance(dt_s, out_moved=self._moved_buf)
+        else:
+            t0 = time.perf_counter()
+            self._mobility_batch.advance(dt_s, out_moved=self._moved_buf)
+            self.stage_times_s["mobility"] = (
+                self.stage_times_s.get("mobility", 0.0) + time.perf_counter() - t0
+            )
         if self.num_mobiles > 0:
             self.link_gains.advance(self._positions_arr, self._moved_buf, dt_s)
         self._time_s += dt_s

@@ -126,17 +126,22 @@ def _forward_direct_seed(
     extra: np.ndarray,
     max_link_power_w: Optional[float],
     initial: np.ndarray,
-    max_passes: int = 3,
+    max_passes: int = 6,
 ) -> np.ndarray:
     """Direct active-set solve of the forward-link fixed point.
 
     With the per-link-capped allocations and the budget-saturated cells
     held fixed, the per-cell totals satisfy an affine ``K x K`` system:
     capped links contribute a constant, and a saturated cell's total is
-    pinned at ``base + budget`` (exact for ``extra == 0``; a seed-quality
-    approximation otherwise).  Cap membership is detected from the warm
-    guess and re-checked for a few passes.  Like the reverse-link seed this
-    only provides the starting point — the Yates loop still certifies the
+    pinned at the value the Yates iteration's proportional down-scaling
+    converges to.  The iteration scales only the *controlled* allocations
+    ``s_k`` (committed SCH burst power ``extra`` is held), so the pinned
+    total is ``base + extra + budget * s / (s + extra)`` — computed here
+    from the raw allocation sums of the current pass, which makes the pin
+    exact for nonzero committed power too (``base + budget`` when
+    ``extra == 0``).  Cap membership is detected from the warm guess and
+    re-checked for a few passes.  Like the reverse-link seed this only
+    provides the starting point — the Yates loop still certifies the
     solution — so any numerical bail-out falls back to the unrefined guess.
     """
     num_mobiles, num_cells = gains.shape
@@ -148,10 +153,10 @@ def _forward_direct_seed(
     interference_of = gains.copy()
     interference_of[rows, serving] -= own_fraction * own
     eye = np.eye(num_cells)
-    pinned_value = base_extra - extra + budget
     totals = initial
     prev_capped = None
     prev_saturated = None
+    prev_pinned = None
     for _ in range(max_passes):
         interference = interference_of @ totals + mobile_noise_power_w
         alloc = per_unit_all * interference[:, np.newaxis]
@@ -160,12 +165,28 @@ def _forward_direct_seed(
             alloc = np.minimum(alloc, max_link_power_w)
         else:
             capped = np.zeros_like(allocatable)
-        saturated = alloc.sum(axis=0) + extra > budget
-        if prev_capped is not None and np.array_equal(
-            capped, prev_capped
-        ) and np.array_equal(saturated, prev_saturated):
+        raw_traffic = alloc.sum(axis=0)
+        saturated = raw_traffic + extra > budget
+        # Fixed point of the down-scaled totals of a saturated cell; the
+        # scale budget/(s + extra) applies to the controlled allocations s
+        # only, never to the committed burst power.
+        pinned_value = base_extra + budget * raw_traffic / np.maximum(
+            raw_traffic + extra, 1e-300
+        )
+        if (
+            prev_capped is not None
+            and np.array_equal(capped, prev_capped)
+            and np.array_equal(saturated, prev_saturated)
+            and (
+                not saturated.any()
+                or np.allclose(
+                    pinned_value[saturated], prev_pinned[saturated], rtol=1e-9
+                )
+            )
+        ):
             break
         prev_capped, prev_saturated = capped, saturated
+        prev_pinned = pinned_value
 
         free_units = np.where(capped, 0.0, per_unit_all)
         coupling = free_units.T @ interference_of

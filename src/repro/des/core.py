@@ -1,17 +1,22 @@
 """Core of the discrete-event simulation engine.
 
-The engine is a conventional event-list kernel: an
-:class:`Environment` owns a priority queue of ``(time, priority, seq, event)``
-entries, and :meth:`Environment.run` pops them in order, advancing the clock
-and firing callbacks.  Processes are plain Python generators that ``yield``
-events; the :class:`Process` wrapper resumes the generator whenever the
-yielded event fires, mirroring the ``simpy`` programming model.
+The engine is a bucketed event-list kernel: an :class:`Environment` owns a
+priority queue of *unique* ``(time, priority)`` keys plus a FIFO bucket of
+events per key, and :meth:`Environment.run` drains the buckets in key order,
+advancing the clock and firing callbacks.  Events scheduled for the same
+key are popped in scheduling order straight off their bucket — an
+equal-time callback storm (ten thousand timeouts expiring on one frame
+boundary) costs one heap operation for the whole storm instead of one
+``heappop`` per event.  Processes are plain Python generators that
+``yield`` events; the :class:`Process` wrapper resumes the generator
+whenever the yielded event fires, mirroring the ``simpy`` programming
+model.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -329,8 +334,10 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        #: Heap of *unique* ``(time, priority)`` keys with a pending bucket.
         self._queue: list = []
-        self._counter = itertools.count()
+        #: ``(time, priority) -> deque of events`` in scheduling (FIFO) order.
+        self._buckets: dict = {}
         self._active_process: Optional[Process] = None
 
     # -- clock -------------------------------------------------------------
@@ -367,18 +374,51 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        """Insert ``event`` into the queue ``delay`` time units from now."""
+        """Insert ``event`` into the queue ``delay`` time units from now.
+
+        Events sharing a ``(time, priority)`` key are appended to that key's
+        FIFO bucket; the key itself enters the heap only once, so scheduling
+        (and later popping) an equal-time storm stays O(1) amortised per
+        event.
+        """
         if delay < 0:
             raise ValueError("cannot schedule an event in the past")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
-        )
+        key = (self._now + delay, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            # Singleton buckets hold the bare event — the common all-unique-
+            # times workload then never pays for a deque allocation.
+            self._buckets[key] = event
+            heapq.heappush(self._queue, key)
+        elif type(bucket) is deque:
+            bucket.append(event)
+        else:
+            self._buckets[key] = deque((bucket, event))
+
+    def _purge_head(self):
+        """Return the head key with a non-empty bucket, dropping stale keys.
+
+        A key whose bucket drained while :meth:`run` had to yield to an
+        urgent insertion is left in the heap (removing it from the middle
+        would cost O(n)); it is discarded lazily here.  Returns ``None``
+        when the queue is empty.
+        """
+        queue = self._queue
+        buckets = self._buckets
+        while queue:
+            key = queue[0]
+            if buckets[key]:
+                return key
+            del buckets[key]
+            heapq.heappop(queue)
+        return None
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` when the queue is empty)."""
-        if not self._queue:
+        key = self._purge_head()
+        if key is None:
             return float("inf")
-        return self._queue[0][0]
+        return key[0]
 
     def step(self) -> None:
         """Process exactly one event.
@@ -388,9 +428,20 @@ class Environment:
         SimulationError
             If the queue is empty, or an event failed with no handler.
         """
-        if not self._queue:
+        key = self._purge_head()
+        if key is None:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        bucket = self._buckets[key]
+        if type(bucket) is deque:
+            event = bucket.popleft()
+            if not bucket:
+                del self._buckets[key]
+                heapq.heappop(self._queue)
+        else:
+            event = bucket
+            del self._buckets[key]
+            heapq.heappop(self._queue)
+        self._now = key[0]
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
             return
@@ -419,13 +470,57 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError("until lies in the past")
 
-        while self._queue:
+        queue = self._queue
+        buckets = self._buckets
+        heappop = heapq.heappop
+        while queue:
             if stop_event is not None and stop_event.processed:
                 break
-            if stop_time is not None and self.peek() > stop_time:
+            key = queue[0]
+            bucket = buckets[key]
+            if not bucket:  # stale key left behind by an interrupted drain
+                del buckets[key]
+                heappop(queue)
+                continue
+            if stop_time is not None and key[0] > stop_time:
                 self._now = stop_time
                 break
-            self.step()
+            # Drain the head key's whole bucket without re-entering step():
+            # one heap operation serves every event of an equal-time
+            # callback storm.  Ordering is preserved exactly — a callback
+            # scheduling at the same key appends to this bucket (FIFO, as
+            # the old per-event heap ordered it), while an urgent or
+            # earlier event creates a *smaller* key at the heap head, which
+            # the per-event check below notices so the batch yields to it.
+            self._now = key[0]
+            if type(bucket) is not deque:
+                # Singleton fast path: remove the key before dispatch, as
+                # step() does.
+                del buckets[key]
+                heappop(queue)
+                event = bucket
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is not None:
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+                continue
+            while bucket:
+                event = bucket.popleft()
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is not None:
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+                if (stop_event is not None and stop_event.processed) or (
+                    queue[0] is not key
+                ):
+                    break
+            if not bucket and queue and queue[0] is key:
+                del buckets[key]
+                heappop(queue)
         else:
             if stop_time is not None:
                 self._now = stop_time

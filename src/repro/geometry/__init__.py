@@ -10,10 +10,12 @@ simulations which takes into account of the user mobility".
 
 from repro.geometry.hexgrid import HexagonalCellLayout
 from repro.geometry.mobility import (
+    FleetMemberMobility,
     MobilityModel,
-    StaticMobility,
+    RandomDirectionFleet,
     RandomDirectionMobility,
     RandomWaypointMobility,
+    StaticMobility,
 )
 
 __all__ = [
@@ -22,4 +24,6 @@ __all__ = [
     "StaticMobility",
     "RandomDirectionMobility",
     "RandomWaypointMobility",
+    "RandomDirectionFleet",
+    "FleetMemberMobility",
 ]

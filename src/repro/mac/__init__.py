@@ -20,6 +20,7 @@ forward and the reverse link.
 from repro.mac.requests import BurstRequest, BurstGrant, LinkDirection
 from repro.mac.states import (
     MacState,
+    MacStateFleet,
     MacStateMachine,
     setup_delay_penalty,
     setup_delay_penalties,
@@ -52,6 +53,7 @@ __all__ = [
     "LinkDirection",
     "MacState",
     "MacStateMachine",
+    "MacStateFleet",
     "setup_delay_penalty",
     "setup_delay_penalties",
     "AdmissibleRegion",

@@ -25,6 +25,7 @@ throughput, loading and outage statistics are gathered by
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -33,15 +34,19 @@ import numpy as np
 from repro.cdma.entities import MobileStation, UserClass
 from repro.cdma.network import CdmaNetwork, NetworkSnapshot
 from repro.geometry.hexgrid import HexagonalCellLayout
-from repro.geometry.mobility import RandomDirectionMobility
+from repro.geometry.mobility import (
+    FleetMemberMobility,
+    RandomDirectionFleet,
+    RandomDirectionMobility,
+)
 from repro.mac.admission import BurstAdmissionController
 from repro.mac.requests import BurstGrant, BurstRequest, LinkDirection
 from repro.mac.schedulers.base import BurstScheduler
-from repro.mac.states import MacState, MacStateMachine
+from repro.mac.states import MacState, MacStateFleet, MacStateMachine
 from repro.simulation.metrics import MetricsCollector, SimulationResult
 from repro.simulation.scenario import ScenarioConfig
-from repro.traffic.data import PacketCallDataSource, TruncatedParetoSize
-from repro.traffic.voice import OnOffVoiceSource
+from repro.traffic.data import DataTrafficFleet, PacketCallDataSource, TruncatedParetoSize
+from repro.traffic.voice import OnOffVoiceSource, VoiceFleet
 from repro.utils.rng import RngFactory
 
 __all__ = ["DynamicSystemSimulator"]
@@ -69,6 +74,7 @@ class DynamicSystemSimulator:
     def __init__(self, scenario: ScenarioConfig, scheduler: BurstScheduler) -> None:
         self.scenario = scenario
         self.scheduler = scheduler
+        self.batched_fleet = bool(scenario.batched_fleet)
         self._rng_factory = RngFactory(scenario.seed)
         system = scenario.effective_system()
         self.system = system
@@ -80,58 +86,87 @@ class DynamicSystemSimulator:
             wraparound=radio.wraparound,
         )
         bounds = self.layout.bounding_box()
+        # RNG contract: the scalar streams are spawned in the seed order
+        # (placement, mobility, propagation, traffic, burst-direction) in
+        # BOTH modes, so the default scalar path stays bit-identical and a
+        # fleet run shares the user placement and the propagation
+        # (shadowing / fast-fading) realisations with its scalar twin.  The
+        # fleet streams are spawned strictly AFTER every scalar stream.
         placement_rng = self._rng_factory.child("placement")
         mobility_rng = self._rng_factory.child("mobility")
+        propagation_rng = self._rng_factory.child("propagation")
+        traffic_rng = self._rng_factory.child("traffic")
+        self._direction_rng = self._rng_factory.child("burst-direction")
+        if self.batched_fleet:
+            fleet_mobility_rng = self._rng_factory.child("fleet-mobility")
+            fleet_voice_rng = self._rng_factory.child("fleet-voice")
+            fleet_data_rng = self._rng_factory.child("fleet-data")
 
         # -- population --------------------------------------------------------
-        self.mobiles: List[MobileStation] = []
+        # Placement first (one stream, identical in both modes), then the
+        # mobility back-end, then the entity objects.
         self.data_user_indices: List[int] = []
         self.voice_user_indices: List[int] = []
+        user_classes: List[UserClass] = []
+        positions: List[np.ndarray] = []
         index = 0
         for cell in range(self.layout.num_cells):
             for _ in range(scenario.num_data_users_per_cell):
-                position = self.layout.random_position_in_cell(cell, placement_rng)
-                self.mobiles.append(
-                    MobileStation(
-                        index=index,
-                        user_class=UserClass.DATA,
-                        mobility=RandomDirectionMobility(
-                            position,
-                            bounds,
-                            speed_m_s=scenario.mobility.speed_range_m_s,
-                            mean_epoch_s=scenario.mobility.mean_epoch_s,
-                            rng=mobility_rng,
-                        ),
-                        fch_pilot_power_ratio=radio.fch_pilot_power_ratio,
-                    )
+                positions.append(
+                    self.layout.random_position_in_cell(cell, placement_rng)
                 )
+                user_classes.append(UserClass.DATA)
                 self.data_user_indices.append(index)
                 index += 1
             for _ in range(scenario.num_voice_users_per_cell):
-                position = self.layout.random_position_in_cell(cell, placement_rng)
-                self.mobiles.append(
-                    MobileStation(
-                        index=index,
-                        user_class=UserClass.VOICE,
-                        mobility=RandomDirectionMobility(
-                            position,
-                            bounds,
-                            speed_m_s=scenario.mobility.speed_range_m_s,
-                            mean_epoch_s=scenario.mobility.mean_epoch_s,
-                            rng=mobility_rng,
-                        ),
-                        fch_pilot_power_ratio=radio.fch_pilot_power_ratio,
-                    )
+                positions.append(
+                    self.layout.random_position_in_cell(cell, placement_rng)
                 )
+                user_classes.append(UserClass.VOICE)
                 self.voice_user_indices.append(index)
                 index += 1
+        num_users = index
+
+        self.mobility_fleet: Optional[RandomDirectionFleet] = None
+        if self.batched_fleet:
+            self.mobility_fleet = RandomDirectionFleet(
+                np.asarray(positions, dtype=float).reshape(num_users, 2),
+                bounds,
+                speed_m_s=scenario.mobility.speed_range_m_s,
+                mean_epoch_s=scenario.mobility.mean_epoch_s,
+                rng=fleet_mobility_rng,
+            )
+            mobility_models = [
+                FleetMemberMobility(self.mobility_fleet, j) for j in range(num_users)
+            ]
+        else:
+            mobility_models = [
+                RandomDirectionMobility(
+                    position,
+                    bounds,
+                    speed_m_s=scenario.mobility.speed_range_m_s,
+                    mean_epoch_s=scenario.mobility.mean_epoch_s,
+                    rng=mobility_rng,
+                )
+                for position in positions
+            ]
+        self.mobiles: List[MobileStation] = [
+            MobileStation(
+                index=j,
+                user_class=user_classes[j],
+                mobility=mobility_models[j],
+                fch_pilot_power_ratio=radio.fch_pilot_power_ratio,
+            )
+            for j in range(num_users)
+        ]
 
         self.network = CdmaNetwork(
             config=system,
             mobiles=self.mobiles,
-            rng=self._rng_factory.child("propagation"),
+            rng=propagation_rng,
             layout=self.layout,
             warm_start_power_control=scenario.warm_start_power_control,
+            mobility_fleet=self.mobility_fleet,
         )
         self.controller = BurstAdmissionController(
             system, scheduler, batched=scenario.batched_admission
@@ -148,43 +183,108 @@ class DynamicSystemSimulator:
             scheduler.reset_warm_start()
 
         # -- traffic ----------------------------------------------------------------
-        traffic_rng = self._rng_factory.child("traffic")
         size_distribution = TruncatedParetoSize(
             shape=scenario.traffic.packet_call_shape,
             minimum_bits=scenario.traffic.packet_call_min_bits,
             maximum_bits=scenario.traffic.packet_call_max_bits,
         )
-        self.data_sources: Dict[int, PacketCallDataSource] = {
-            j: PacketCallDataSource(
+        self._data_idx_arr = np.asarray(self.data_user_indices, dtype=int)
+        self._voice_idx_arr = np.asarray(self.voice_user_indices, dtype=int)
+        self._voice_full_rate = np.ones(self._voice_idx_arr.size)
+        self.data_sources: Optional[Dict[int, PacketCallDataSource]] = None
+        self.voice_sources: Optional[Dict[int, OnOffVoiceSource]] = None
+        self.data_fleet: Optional[DataTrafficFleet] = None
+        self.voice_fleet: Optional[VoiceFleet] = None
+        if self.batched_fleet:
+            self.data_fleet = DataTrafficFleet(
+                num_sources=len(self.data_user_indices),
                 mean_reading_time_s=scenario.traffic.mean_reading_time_s,
                 size_distribution=size_distribution,
-                rng=np.random.default_rng(traffic_rng.integers(0, 2**63 - 1)),
+                forward_fraction=scenario.traffic.forward_fraction,
+                rng=fleet_data_rng,
             )
-            for j in self.data_user_indices
-        }
-        self.voice_sources: Dict[int, OnOffVoiceSource] = {
-            j: OnOffVoiceSource(
-                rng=np.random.default_rng(traffic_rng.integers(0, 2**63 - 1))
+            self.voice_fleet = VoiceFleet(
+                num_sources=len(self.voice_user_indices), rng=fleet_voice_rng
             )
-            for j in self.voice_user_indices
-        }
-        self._direction_rng = self._rng_factory.child("burst-direction")
+        else:
+            self.data_sources = {
+                j: PacketCallDataSource(
+                    mean_reading_time_s=scenario.traffic.mean_reading_time_s,
+                    size_distribution=size_distribution,
+                    rng=np.random.default_rng(traffic_rng.integers(0, 2**63 - 1)),
+                )
+                for j in self.data_user_indices
+            }
+            self.voice_sources = {
+                j: OnOffVoiceSource(
+                    rng=np.random.default_rng(traffic_rng.integers(0, 2**63 - 1))
+                )
+                for j in self.voice_user_indices
+            }
 
         # -- MAC / bookkeeping ------------------------------------------------------------
-        self.mac_states: Dict[int, MacStateMachine] = {
-            j: MacStateMachine(config=system.mac) for j in self.data_user_indices
-        }
+        self.mac_states: Optional[Dict[int, MacStateMachine]] = None
+        self.mac_fleet: Optional[MacStateFleet] = None
+        if self.batched_fleet:
+            self.mac_fleet = MacStateFleet(
+                num_users=len(self.data_user_indices), config=system.mac
+            )
+        else:
+            self.mac_states = {
+                j: MacStateMachine(config=system.mac) for j in self.data_user_indices
+            }
+        # Mobile index -> position in the data-user arrays (fleet addressing).
+        self._data_local = np.full(num_users, -1, dtype=int)
+        self._data_local[self._data_idx_arr] = np.arange(self._data_idx_arr.size)
         self.pending: Dict[LinkDirection, List[BurstRequest]] = {
             LinkDirection.FORWARD: [],
             LinkDirection.REVERSE: [],
         }
         self.active_bursts: List[_ActiveBurst] = []
         self._request_meta: Dict[int, Tuple[float, float]] = {}
+        # Incremental bursting/waiting membership: counts per mobile index,
+        # maintained at request arrival / grant / completion time so
+        # :meth:`_update_data_activity` never rebuilds the sets per frame.
+        self._bursting_count = np.zeros(num_users, dtype=int)
+        self._waiting_count = np.zeros(num_users, dtype=int)
         self.metrics = MetricsCollector(warmup_s=scenario.warmup_s)
+        #: Per-stage wall-time accumulator (seconds), populated by
+        #: ``run(collect_stage_times=True)``.
+        self.stage_times_s: Optional[Dict[str, float]] = None
 
     # -- traffic handling -----------------------------------------------------------------
+    def _enqueue_request(
+        self, mobile_index: int, link: LinkDirection, size_bits: float, arrival_s: float
+    ) -> None:
+        """Create one burst request and register it with the pending queue."""
+        request = BurstRequest(
+            mobile_index=mobile_index,
+            link=link,
+            size_bits=size_bits,
+            arrival_time_s=arrival_s,
+            priority=self.scenario.traffic.data_priority,
+        )
+        self.pending[link].append(request)
+        self._waiting_count[mobile_index] += 1
+        self._request_meta[request.request_id] = (arrival_s, size_bits)
+        self.metrics.record_packet_call_arrival(arrival_s, size_bits)
+
     def _pull_arrivals(self, now_s: float) -> None:
         traffic = self.scenario.traffic
+        if self.batched_fleet:
+            arrivals = self.data_fleet.pull_arrivals(now_s)
+            if len(arrivals) == 0:
+                return
+            mobile_indices = self._data_idx_arr[arrivals.user_indices]
+            for j, arrival_s, size, forward in zip(
+                mobile_indices.tolist(),
+                arrivals.arrival_times_s.tolist(),
+                arrivals.size_bits.tolist(),
+                arrivals.is_forward.tolist(),
+            ):
+                link = LinkDirection.FORWARD if forward else LinkDirection.REVERSE
+                self._enqueue_request(j, link, size, arrival_s)
+            return
         for j in self.data_user_indices:
             for call in self.data_sources[j].pull_arrivals(now_s):
                 link = (
@@ -192,23 +292,15 @@ class DynamicSystemSimulator:
                     if self._direction_rng.random() < traffic.forward_fraction
                     else LinkDirection.REVERSE
                 )
-                request = BurstRequest(
-                    mobile_index=j,
-                    link=link,
-                    size_bits=call.size_bits,
-                    arrival_time_s=call.arrival_time_s,
-                    priority=traffic.data_priority,
-                )
-                self.pending[link].append(request)
-                self._request_meta[request.request_id] = (
-                    call.arrival_time_s,
-                    call.size_bits,
-                )
-                self.metrics.record_packet_call_arrival(
-                    call.arrival_time_s, call.size_bits
-                )
+                self._enqueue_request(j, link, call.size_bits, call.arrival_time_s)
 
     def _update_voice_activity(self, dt_s: float) -> None:
+        if self.batched_fleet:
+            active = self.voice_fleet.advance(dt_s)
+            self.network.set_fch_state(
+                self._voice_idx_arr, active, self._voice_full_rate
+            )
+            return
         for j in self.voice_user_indices:
             self.mobiles[j].fch_active = self.voice_sources[j].advance(dt_s)
 
@@ -223,18 +315,28 @@ class DynamicSystemSimulator:
         alongside the SCH.  This keeps the background load physical (well
         below the reverse-link pole capacity) while preserving the pilot and
         FCH measurements the burst admission needs.
+
+        Bursting / waiting membership comes from the incremental per-mobile
+        counters maintained at arrival / grant / completion time, so no
+        per-frame set rebuild over the active bursts and pending queues is
+        needed (on either path).
         """
         control_rate = self.system.radio.control_channel_rate_fraction
-        bursting = {b.grant.request.mobile_index for b in self.active_bursts}
-        waiting = set()
-        for requests in self.pending.values():
-            waiting.update(r.mobile_index for r in requests)
-        for j in self.data_user_indices:
+        data_idx = self._data_idx_arr
+        bursting_mask = self._bursting_count[data_idx] > 0
+        waiting_mask = self._waiting_count[data_idx] > 0
+        if self.batched_fleet:
+            holds_dcch = waiting_mask & self.mac_fleet.holds_dedicated_channel()
+            active = bursting_mask | holds_dcch
+            rate = np.where(~bursting_mask & holds_dcch, control_rate, 1.0)
+            self.network.set_fch_state(data_idx, active, rate)
+            return
+        for local, j in enumerate(self.data_user_indices):
             mobile = self.mobiles[j]
-            if j in bursting:
+            if bursting_mask[local]:
                 mobile.fch_active = True
                 mobile.fch_rate_factor = 1.0
-            elif j in waiting:
+            elif waiting_mask[local]:
                 # A waiting user keeps its dedicated control channel only
                 # while its MAC state still holds one (Active / Control-Hold);
                 # users that timed out into Suspended/Dormant stop loading
@@ -261,6 +363,7 @@ class DynamicSystemSimulator:
                 self.network.release_forward_burst_power(cell, power)
             for cell, power in grant.reverse_power_w.items():
                 self.network.release_reverse_burst_power(cell, power)
+            self._bursting_count[request.mobile_index] -= 1
             request.account_served_bits(grant.bits_to_serve)
             if request.completed:
                 arrival, size = self._request_meta.pop(
@@ -273,10 +376,22 @@ class DynamicSystemSimulator:
                 # Remaining bits go back to the pending queue; the waiting
                 # time keeps accumulating from the original arrival.
                 self.pending[request.link].append(request)
+                self._waiting_count[request.mobile_index] += 1
         self.active_bursts = still_active
 
     def _serving_mobiles(self) -> set:
         return {b.grant.request.mobile_index for b in self.active_bursts}
+
+    def _mac_setup_penalty_s(self, mobile_index: int) -> float:
+        if self.batched_fleet:
+            return self.mac_fleet.setup_penalty_s(self._data_local[mobile_index])
+        return self.mac_states[mobile_index].setup_penalty_s()
+
+    def _mac_touch(self, mobile_index: int) -> None:
+        if self.batched_fleet:
+            self.mac_fleet.touch(self._data_local[mobile_index])
+        else:
+            self.mac_states[mobile_index].touch()
 
     def _run_admission(self, snapshot: NetworkSnapshot, now_s: float) -> None:
         for link in (LinkDirection.FORWARD, LinkDirection.REVERSE):
@@ -290,14 +405,16 @@ class DynamicSystemSimulator:
                 granted_ids.add(request.request_id)
                 # MAC setup penalty: waking a Suspended/Dormant user delays the
                 # effective completion of its burst (eq. (23)).
-                penalty = self.mac_states[request.mobile_index].setup_penalty_s()
+                penalty = self._mac_setup_penalty_s(request.mobile_index)
                 end_s = grant.end_s + penalty
                 for cell, power in grant.forward_power_w.items():
                     self.network.commit_forward_burst_power(cell, power)
                 for cell, power in grant.reverse_power_w.items():
                     self.network.commit_reverse_burst_power(cell, power)
                 self.active_bursts.append(_ActiveBurst(grant=grant, end_s=end_s))
-                self.mac_states[request.mobile_index].touch()
+                self._bursting_count[request.mobile_index] += 1
+                self._waiting_count[request.mobile_index] -= 1
+                self._mac_touch(request.mobile_index)
             self.pending[link] = [
                 r for r in pending if r.request_id not in granted_ids
             ]
@@ -309,12 +426,26 @@ class DynamicSystemSimulator:
             )
 
     def _update_mac_states(self, dt_s: float) -> None:
+        if self.batched_fleet:
+            self.mac_fleet.advance(
+                dt_s, self._bursting_count[self._data_idx_arr] > 0
+            )
+            return
         serving = self._serving_mobiles()
         for j, machine in self.mac_states.items():
             machine.advance(dt_s, active=j in serving)
 
+    def _timed_stage(self, name: str, fn, *args) -> None:
+        t0 = time.perf_counter()
+        fn(*args)
+        self.stage_times_s[name] = (
+            self.stage_times_s.get(name, 0.0) + time.perf_counter() - t0
+        )
+
     # -- main loop ----------------------------------------------------------------------------------
-    def run(self, progress: Optional[int] = None) -> SimulationResult:
+    def run(
+        self, progress: Optional[int] = None, collect_stage_times: bool = False
+    ) -> SimulationResult:
         """Run the simulation and return the summary result.
 
         Parameters
@@ -322,6 +453,11 @@ class DynamicSystemSimulator:
         progress:
             When given, a progress line is printed every ``progress`` frames
             (useful for the long experiment runs).
+        collect_stage_times:
+            Accumulate the wall time of the per-user simulation stages
+            (voice activity, packet-call arrivals, data-channel activity,
+            MAC states, mobility) into :attr:`stage_times_s`; used by the
+            fleet benchmark harness.  Off by default (zero overhead).
         """
         scenario = self.scenario
         frame_s = self.system.mac.frame_duration_s
@@ -330,13 +466,21 @@ class DynamicSystemSimulator:
         bs_noise_power_w = np.asarray(
             [bs.noise_power_w for bs in self.network.base_stations]
         )
+        self.stage_times_s = {} if collect_stage_times else None
+        self.network.stage_times_s = self.stage_times_s
 
         for frame_index in range(num_frames):
             now = self.network.time_s
-            self._update_voice_activity(frame_s)
-            self._pull_arrivals(now)
-            self._complete_bursts(now)
-            self._update_data_activity()
+            if collect_stage_times:
+                self._timed_stage("voice", self._update_voice_activity, frame_s)
+                self._timed_stage("arrivals", self._pull_arrivals, now)
+                self._complete_bursts(now)
+                self._timed_stage("data_activity", self._update_data_activity)
+            else:
+                self._update_voice_activity(frame_s)
+                self._pull_arrivals(now)
+                self._complete_bursts(now)
+                self._update_data_activity()
             snapshot = self.network.snapshot()
             self._run_admission(snapshot, now)
             pending_count = sum(len(v) for v in self.pending.values())
@@ -353,7 +497,10 @@ class DynamicSystemSimulator:
                 ),
                 fch_outage_fraction=snapshot.fch_outage_fraction(),
             )
-            self._update_mac_states(frame_s)
+            if collect_stage_times:
+                self._timed_stage("mac", self._update_mac_states, frame_s)
+            else:
+                self._update_mac_states(frame_s)
             self.network.advance(frame_s)
             if progress and (frame_index + 1) % progress == 0:  # pragma: no cover
                 print(

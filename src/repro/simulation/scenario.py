@@ -102,6 +102,19 @@ class ScenarioConfig:
         Build the burst-admission measurement matrices with the queue-wide
         batched kernels (default).  ``False`` selects the scalar oracle
         path; both are bit-identical.
+    batched_fleet:
+        Run the per-user simulation layer (voice on/off sources, packet-call
+        traffic, MAC state machines, mobility) as structure-of-arrays fleet
+        kernels (:class:`repro.traffic.VoiceFleet`,
+        :class:`repro.traffic.DataTrafficFleet`,
+        :class:`repro.mac.MacStateFleet`,
+        :class:`repro.geometry.mobility.RandomDirectionFleet`) instead of
+        per-user Python objects.  The fleets own their own seeded random
+        streams, so a fleet run is statistically equivalent — same user
+        placement, same propagation streams, same traffic/mobility
+        distributions — but not sample-path identical to the scalar path;
+        the scalar default stays bit-for-bit reproducible.  See the fleet
+        RNG contract in ``benchmarks/README.md``.
     """
 
     system: SystemConfig = field(default_factory=SystemConfig)
@@ -116,6 +129,7 @@ class ScenarioConfig:
     warm_start_solver: bool = False
     power_control_tolerance: Optional[float] = None
     batched_admission: bool = True
+    batched_fleet: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative_int("num_data_users_per_cell", self.num_data_users_per_cell)

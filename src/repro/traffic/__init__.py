@@ -8,15 +8,29 @@
 * :mod:`~repro.traffic.arrivals` — generic arrival-process helpers.
 """
 
-from repro.traffic.voice import OnOffVoiceSource
-from repro.traffic.data import PacketCallDataSource, TruncatedParetoSize, PacketCall
-from repro.traffic.arrivals import PoissonArrivals, exponential_interarrival
+from repro.traffic.voice import OnOffVoiceSource, VoiceFleet
+from repro.traffic.data import (
+    DataTrafficFleet,
+    FleetArrivals,
+    PacketCall,
+    PacketCallDataSource,
+    TruncatedParetoSize,
+)
+from repro.traffic.arrivals import (
+    PoissonArrivals,
+    exponential_interarrival,
+    pull_renewal_arrivals_batch,
+)
 
 __all__ = [
     "OnOffVoiceSource",
+    "VoiceFleet",
     "PacketCallDataSource",
+    "DataTrafficFleet",
+    "FleetArrivals",
     "TruncatedParetoSize",
     "PacketCall",
     "PoissonArrivals",
     "exponential_interarrival",
+    "pull_renewal_arrivals_batch",
 ]

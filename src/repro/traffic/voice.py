@@ -15,9 +15,9 @@ from typing import Optional
 import numpy as np
 
 from repro import constants
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import check_non_negative, check_non_negative_int, check_positive
 
-__all__ = ["OnOffVoiceSource"]
+__all__ = ["OnOffVoiceSource", "VoiceFleet"]
 
 
 class OnOffVoiceSource:
@@ -81,4 +81,88 @@ class OnOffVoiceSource:
             self._active = not self._active
             self._time_in_state = 0.0
             self._state_duration = self._draw_duration()
+        return self._active
+
+
+class VoiceFleet:
+    """Structure-of-arrays fleet of two-state (talk / silence) voice sources.
+
+    Advances *all* sources of a population in one vectorized exponential-
+    transition sweep per frame instead of one Python call per user.  The
+    transition logic is the exact multi-transition semantics of
+    :class:`OnOffVoiceSource` (a frame may span several talk/silence
+    periods), but the fleet owns a **single** random stream from which the
+    per-user duration draws are batched, so its sample paths are *not*
+    bit-identical to an ensemble of scalar sources — they are statistically
+    equivalent (same stationary activity factor, same exponential holding
+    times).  See ``benchmarks/README.md`` ("fleet RNG contract").
+
+    Parameters
+    ----------
+    num_sources:
+        Population size ``J``.
+    mean_talk_s / mean_silence_s:
+        Mean durations of the exponentially distributed talk and silence
+        periods (shared by the whole fleet).
+    rng:
+        The fleet's random generator.
+    start_active:
+        Initial state of every source; ``None`` (default) draws each
+        source's state from the stationary distribution.
+    """
+
+    def __init__(
+        self,
+        num_sources: int,
+        mean_talk_s: float = constants.VOICE_TALK_SPURT_MEAN_S,
+        mean_silence_s: float = constants.VOICE_SILENCE_MEAN_S,
+        rng: Optional[np.random.Generator] = None,
+        start_active: Optional[bool] = None,
+    ) -> None:
+        self.num_sources = check_non_negative_int("num_sources", num_sources)
+        self.mean_talk_s = check_positive("mean_talk_s", mean_talk_s)
+        self.mean_silence_s = check_positive("mean_silence_s", mean_silence_s)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        n = self.num_sources
+        if start_active is None:
+            self._active = self._rng.random(n) < self.activity_factor
+        else:
+            self._active = np.full(n, bool(start_active))
+        self._time_in_state = np.zeros(n)
+        self._state_duration = self._rng.exponential(self._state_means())
+
+    def _state_means(self) -> np.ndarray:
+        return np.where(self._active, self.mean_talk_s, self.mean_silence_s)
+
+    @property
+    def activity_factor(self) -> float:
+        """Long-run probability of being in the talk state."""
+        return self.mean_talk_s / (self.mean_talk_s + self.mean_silence_s)
+
+    @property
+    def active(self) -> np.ndarray:
+        """Current talk-spurt mask, shape ``(J,)`` (do not mutate)."""
+        return self._active
+
+    def advance(self, dt_s: float) -> np.ndarray:
+        """Advance every source by ``dt_s`` seconds; return the active mask.
+
+        Sources whose accumulated state time stays below their drawn state
+        duration advance with pure array arithmetic; the (rare) boundary
+        crossers are flipped round by round, drawing the fresh exponential
+        durations of each round in one batch.  Multiple transitions within
+        ``dt_s`` are handled exactly, as in the scalar source.
+        """
+        check_non_negative("dt_s", dt_s)
+        self._time_in_state += dt_s
+        while True:
+            crossed = np.flatnonzero(self._time_in_state >= self._state_duration)
+            if crossed.size == 0:
+                break
+            self._time_in_state[crossed] -= self._state_duration[crossed]
+            self._active[crossed] = ~self._active[crossed]
+            means = np.where(
+                self._active[crossed], self.mean_talk_s, self.mean_silence_s
+            )
+            self._state_duration[crossed] = self._rng.exponential(means)
         return self._active

@@ -287,6 +287,82 @@ class TestWarmStart:
             warm.total_power_w, cold.total_power_w, rtol=1e-6, atol=0.0
         )
 
+    def _saturated_committed_power_scenario(self):
+        """Cell 0 saturates its traffic budget *with* committed SCH power."""
+        rng = np.random.default_rng(7)
+        weak = np.column_stack(
+            [10 ** rng.uniform(-14.5, -14.0, 40), 10 ** rng.uniform(-16.0, -15.5, 40)]
+        )
+        light = np.column_stack(
+            [10 ** rng.uniform(-16.0, -15.5, 6), 10 ** rng.uniform(-12.5, -12.0, 6)]
+        )
+        gains = np.vstack([weak, light])
+        num_mobiles = gains.shape[0]
+        serving = np.argmax(gains, axis=1)
+        active_set = np.zeros_like(gains, dtype=bool)
+        active_set[np.arange(num_mobiles), serving] = True
+        kwargs = dict(
+            active_set=active_set,
+            active=np.full(num_mobiles, True),
+            base_power_w=np.full(2, 2.0),
+            max_traffic_power_w=np.full(2, 16.0),
+            extra_traffic_power_w=np.array([8.0, 0.0]),
+        )
+        return gains, serving, kwargs
+
+    def test_forward_seed_exact_for_saturated_cell_with_committed_power(self):
+        """Regression: the direct seed models ``extra_traffic_power_w`` exactly.
+
+        With committed SCH burst power the proportional down-scaling of a
+        saturated cell converges to ``base + extra + budget*s/(s+extra)``,
+        *not* to ``base + budget`` (the former approximation, off by ~25%
+        in this scenario).  The seed must land on the Yates fixed point so
+        the warm-started solve only certifies.
+        """
+        from repro.cdma.powercontrol import _forward_direct_seed
+
+        pc = self._forward(iterations=500, tolerance=1e-12)
+        gains, serving, kwargs = self._saturated_committed_power_scenario()
+        cold = pc.solve(gains=gains, **kwargs)
+        extra = kwargs["extra_traffic_power_w"]
+        budget = kwargs["max_traffic_power_w"]
+        traffic = cold.tx_power_w.sum(axis=0)
+        # The scenario must actually exercise the regression: cell 0
+        # saturated with nonzero committed power, totals beyond base+budget.
+        assert traffic[0] + extra[0] >= budget[0] - 1e-9
+        assert cold.total_power_w[0] > kwargs["base_power_w"][0] + budget[0] + 1.0
+
+        num_mobiles = gains.shape[0]
+        active_set = kwargs["active_set"]
+        seed = _forward_direct_seed(
+            gains=gains,
+            serving=serving,
+            allocatable=active_set & kwargs["active"][:, np.newaxis] & (gains > 0.0),
+            q=pc.ebio_target * np.ones(num_mobiles) / pc.processing_gain,
+            legs=np.maximum(active_set.sum(axis=1), 1),
+            own_fraction=1.0 - pc.orthogonality_factor,
+            mobile_noise_power_w=pc.mobile_noise_power_w,
+            base_extra=kwargs["base_power_w"] + extra,
+            budget=budget,
+            extra=extra,
+            max_link_power_w=None,
+            initial=cold.total_power_w * 1.05,
+        )
+        np.testing.assert_allclose(seed, cold.total_power_w, rtol=1e-8)
+
+    def test_forward_warm_start_with_committed_power_certifies_quickly(self):
+        pc = self._forward(iterations=500, tolerance=1e-12)
+        gains, _, kwargs = self._saturated_committed_power_scenario()
+        cold = pc.solve(gains=gains, **kwargs)
+        warm = pc.solve(
+            gains=gains, initial_total_power_w=cold.total_power_w * 1.05, **kwargs
+        )
+        np.testing.assert_allclose(
+            warm.total_power_w, cold.total_power_w, rtol=1e-9, atol=0.0
+        )
+        # An exact pin leaves the Yates loop only the certification passes.
+        assert warm.iterations <= 5 < cold.iterations
+
     def test_negative_initial_guess_rejected(self):
         pc = self._reverse(iterations=10, tolerance=1e-6)
         gains = two_cell_gains()

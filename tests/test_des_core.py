@@ -284,3 +284,98 @@ class TestConditions:
         condition = env.all_of([])
         env.run()
         assert condition.triggered and condition.ok
+
+
+class TestBucketedEventQueue:
+    """Ordering guarantees of the bucketed (equal-key batched) event queue."""
+
+    def test_equal_time_storm_fifo_order(self):
+        env = Environment()
+        order = []
+        for i in range(1000):
+            timeout = env.timeout(1.0)
+            timeout.callbacks.append(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == list(range(1000))
+
+    def test_urgent_event_preempts_equal_time_batch(self):
+        """An urgent same-time event fires before the rest of the batch."""
+        from repro.des.core import URGENT
+
+        env = Environment()
+        order = []
+
+        def spawn_urgent(_event):
+            order.append("a")
+            urgent = env.event()
+            urgent._ok = True
+            urgent.callbacks.append(lambda e: order.append("urgent"))
+            env.schedule(urgent, priority=URGENT)
+
+        first = env.timeout(1.0)
+        first.callbacks.append(spawn_urgent)
+        second = env.timeout(1.0)
+        second.callbacks.append(lambda e: order.append("b"))
+        env.run()
+        assert order == ["a", "urgent", "b"]
+
+    def test_same_key_schedule_during_batch_appends_fifo(self):
+        """A same-(time, priority) event scheduled mid-batch fires last."""
+        env = Environment()
+        order = []
+
+        def spawn_same_key(_event):
+            order.append("a")
+            late = env.event()
+            late._ok = True
+            late.callbacks.append(lambda e: order.append("late"))
+            env.schedule(late)  # NORMAL priority at the current time
+
+        first = env.timeout(1.0)
+        first.callbacks.append(spawn_same_key)
+        second = env.timeout(1.0)
+        second.callbacks.append(lambda e: order.append("b"))
+        env.run()
+        assert order == ["a", "b", "late"]
+
+    def test_run_until_event_mid_batch_then_resume(self):
+        """Stopping on an event inside a batch resumes without losing events."""
+        env = Environment()
+        order = []
+        timeouts = []
+        for i in range(5):
+            timeout = env.timeout(1.0)
+            timeout.callbacks.append(lambda e, i=i: order.append(i))
+            timeouts.append(timeout)
+        env.run(until=timeouts[2])
+        assert order == [0, 1, 2]
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_step_through_equal_time_storm(self):
+        env = Environment()
+        order = []
+        for i in range(20):
+            timeout = env.timeout(1.0)
+            timeout.callbacks.append(lambda e, i=i: order.append(i))
+        while True:
+            try:
+                env.step()
+            except SimulationError:
+                break
+        assert order == list(range(20))
+        assert env.peek() == float("inf")
+
+    def test_process_storm_waking_at_same_instant(self):
+        env = Environment()
+        done = []
+
+        def sleeper(env, tag):
+            yield env.timeout(2.0)
+            done.append(tag)
+
+        for i in range(200):
+            env.process(sleeper(env, i))
+        env.run()
+        assert done == list(range(200))
+        assert env.now == 2.0

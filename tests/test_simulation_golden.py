@@ -24,6 +24,7 @@ from repro.simulation import DynamicSystemSimulator, ScenarioConfig
 from repro.simulation.scenario import TrafficConfig
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_dynamic_admission.json"
+GOLDEN_FLEET_PATH = Path(__file__).resolve().parent / "data" / "golden_dynamic_fleet.json"
 
 SUMMARY_FIELDS = (
     "duration_s",
@@ -44,7 +45,7 @@ SUMMARY_FIELDS = (
 )
 
 
-def golden_scenario() -> ScenarioConfig:
+def golden_scenario(**overrides) -> ScenarioConfig:
     return ScenarioConfig.fast_test(
         duration_s=2.0,
         warmup_s=0.5,
@@ -53,6 +54,7 @@ def golden_scenario() -> ScenarioConfig:
             packet_call_min_bits=24_000,
             packet_call_max_bits=200_000,
         ),
+        **overrides,
     )
 
 
@@ -62,9 +64,11 @@ def _jsonable(value):
     return value
 
 
-def run_and_capture() -> dict:
+def run_and_capture(batched_fleet: bool = False) -> dict:
     """Run the golden scenario recording every admission decision."""
-    simulator = DynamicSystemSimulator(golden_scenario(), JabaSdScheduler("J1"))
+    simulator = DynamicSystemSimulator(
+        golden_scenario(batched_fleet=batched_fleet), JabaSdScheduler("J1")
+    )
     events = []
     original_decide = simulator.controller.decide
 
@@ -119,12 +123,51 @@ class TestGoldenDynamicRun:
         assert any(any(e["assignment"]) for e in captured["events"])
 
 
+@pytest.fixture(scope="module")
+def captured_fleet():
+    return run_and_capture(batched_fleet=True)
+
+
+class TestGoldenFleetRun:
+    """End-to-end lock of the structure-of-arrays fleet path.
+
+    The fleets own seeded random streams, so a ``batched_fleet=True`` run is
+    just as reproducible as the scalar path — the golden file locks its
+    admission decisions and summary so unintended fleet-kernel changes are
+    caught.  Regenerate (and justify) with::
+
+        PYTHONPATH=src python tests/test_simulation_golden.py --regen
+    """
+
+    def test_snapshot_exists(self):
+        assert GOLDEN_FLEET_PATH.exists(), (
+            "fleet golden snapshot missing — regenerate with "
+            "`PYTHONPATH=src python tests/test_simulation_golden.py --regen`"
+        )
+
+    def test_summary_bit_identical(self, captured_fleet):
+        golden = json.loads(GOLDEN_FLEET_PATH.read_text())
+        assert captured_fleet["summary"] == golden["summary"]
+
+    def test_admission_decisions_bit_identical(self, captured_fleet):
+        golden = json.loads(GOLDEN_FLEET_PATH.read_text())
+        assert len(captured_fleet["events"]) == len(golden["events"])
+        for frame, (got, want) in enumerate(
+            zip(captured_fleet["events"], golden["events"])
+        ):
+            assert got == want, f"fleet admission decision diverged at event {frame}"
+
+    def test_run_actually_grants(self, captured_fleet):
+        assert captured_fleet["summary"]["completed_packet_calls"] > 0
+        assert any(any(e["assignment"]) for e in captured_fleet["events"])
+
+
 def main(argv=None) -> int:  # pragma: no cover - regeneration helper
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
-        "--regen", action="store_true", help="rewrite the golden snapshot"
+        "--regen", action="store_true", help="rewrite the golden snapshots"
     )
     args = parser.parse_args(argv)
     if not args.regen:
@@ -132,6 +175,10 @@ def main(argv=None) -> int:  # pragma: no cover - regeneration helper
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(run_and_capture(), indent=2) + "\n")
     print(f"golden snapshot written to {GOLDEN_PATH}")
+    GOLDEN_FLEET_PATH.write_text(
+        json.dumps(run_and_capture(batched_fleet=True), indent=2) + "\n"
+    )
+    print(f"fleet golden snapshot written to {GOLDEN_FLEET_PATH}")
     return 0
 
 
