@@ -1,0 +1,244 @@
+"""Scaling harness for the parallel Monte-Carlo campaign engine.
+
+Measures replication throughput of the F4 coverage campaign
+(:func:`repro.experiments.coverage.build_coverage_campaign`) as the worker
+count varies, verifies that the aggregates stay bit-identical across worker
+counts, and runs one J=1e5 fleet-path campaign point (a full dynamic
+simulation with ``batched_fleet=True``) to demonstrate that the campaign
+layer drives the PR-4 fleet kernels at production scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py             # full sweep
+    PYTHONPATH=src python benchmarks/bench_campaign.py --smoke     # CI smoke
+
+Writes ``BENCH_campaign.json``.  Worker scaling is hardware-bound: on an
+N-core machine the coverage sweep is expected to scale near-linearly up to N
+workers (the replications are independent processes); on a single-core
+container every worker count serialises onto the same core and the recorded
+speedup stays ~1x.  The JSON records ``hardware.cpu_count`` so readers can
+interpret the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.experiments.campaign import Campaign, seed_sequence_to_int  # noqa: E402
+from repro.experiments.coverage import build_coverage_campaign  # noqa: E402
+from repro.simulation.dynamic import DynamicSystemSimulator  # noqa: E402
+from repro.simulation.scenario import ScenarioConfig, TrafficConfig  # noqa: E402
+from repro.mac.schedulers import JabaSdScheduler  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_campaign.json"
+
+
+# --------------------------------------------------------------------------
+# coverage sweep scaling
+# --------------------------------------------------------------------------
+def coverage_campaign(smoke: bool, replications: int) -> Campaign:
+    if smoke:
+        return build_coverage_campaign(
+            loads=[2, 3],
+            num_drops=1,
+            config=SystemConfig.small_test_system(),
+            scheduler_factories={"JABA-SD(J1)": "JABA-SD(J1)", "FCFS": "FCFS"},
+            num_replications=replications,
+            seed=17,
+        )
+    return build_coverage_campaign(
+        loads=[4, 8],
+        num_drops=60,
+        scheduler_factories={"JABA-SD(J1)": "JABA-SD(J1)", "FCFS": "FCFS"},
+        num_replications=replications,
+        seed=17,
+    )
+
+
+def run_coverage_scaling(
+    worker_counts: Sequence[int], smoke: bool, replications: int
+) -> Dict:
+    runs: List[Dict] = []
+    aggregates = {}
+    for workers in worker_counts:
+        campaign = coverage_campaign(smoke, replications)
+        started = time.perf_counter()
+        outcome = campaign.run(workers=workers)
+        elapsed = time.perf_counter() - started
+        completed = outcome.completed_replications
+        aggregates[workers] = [
+            sorted(point.replications.items()) for point in outcome.points
+        ]
+        runs.append(
+            {
+                "workers": int(workers),
+                "replications_completed": int(completed),
+                "elapsed_s": round(elapsed, 4),
+                "reps_per_s": round(completed / elapsed, 4),
+            }
+        )
+        print(
+            f"coverage sweep, workers={workers}: {completed} replications in "
+            f"{elapsed:.2f} s ({completed / elapsed:.2f} reps/s)"
+        )
+    base_run = min(runs, key=lambda run: run["workers"])
+    base = base_run["reps_per_s"]
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    for run in runs:
+        run["speedup_vs_baseline"] = round(run["reps_per_s"] / base, 4)
+        # The engine-side cost of sharding: on any hardware, perfect sharding
+        # would reach min(workers, cores) x the single-worker throughput.
+        # (Only meaningful against a workers=1 baseline.)
+        ideal = min(run["workers"], cores)
+        run["sharding_overhead_fraction"] = round(
+            max(0.0, 1.0 - run["speedup_vs_baseline"] / ideal), 4
+        )
+    first = aggregates[worker_counts[0]]
+    parity = all(aggregates[w] == first for w in worker_counts)
+    print(f"aggregate parity across worker counts: {parity}")
+    campaign = coverage_campaign(smoke, replications)
+    return {
+        "grid": {
+            "points": len(campaign.points),
+            "replications_per_point": campaign.replications,
+            "drops_per_replication": int(campaign.metadata["num_drops"]),
+            "root_seed": campaign.root_seed,
+        },
+        "runs": runs,
+        "baseline_workers": base_run["workers"],
+        "parity_bit_identical": parity,
+        "scaling_note": (
+            "Replications are independent processes; expected speedup at W "
+            "workers is ~min(W, cores).  sharding_overhead_fraction measures "
+            "the engine-side loss against that bound on THIS machine "
+            f"(cores available: {cores})."
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
+# J = 1e5 fleet-path campaign point
+# --------------------------------------------------------------------------
+def fleet_point_replication(params: Mapping[str, object], seed) -> dict:
+    """One campaign replication at fleet scale: a J~1e5 dynamic simulation."""
+    population = int(params["population"])
+    frames = int(params["frames"])
+    system = SystemConfig()
+    num_rings = system.radio.num_rings
+    num_cells = 1 + 3 * num_rings * (num_rings + 1)
+    per_cell = max(1, round(population / (2 * num_cells)))
+    frame_s = system.mac.frame_duration_s
+    scenario = ScenarioConfig(
+        system=system,
+        num_data_users_per_cell=per_cell,
+        num_voice_users_per_cell=per_cell,
+        duration_s=frames * frame_s,
+        warmup_s=0.0,
+        seed=seed_sequence_to_int(seed),
+        traffic=TrafficConfig(
+            mean_reading_time_s=4.0 * max(1.0, 2 * per_cell * num_cells / 200),
+            packet_call_min_bits=24_000.0,
+            packet_call_max_bits=200_000.0,
+        ),
+        batched_fleet=True,
+    )
+    simulator = DynamicSystemSimulator(scenario, JabaSdScheduler("J1"))
+    started = time.perf_counter()
+    outcome = simulator.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "population": float(2 * per_cell * num_cells),
+        "frames": float(frames),
+        "sim_elapsed_s": elapsed,
+        "s_per_frame": elapsed / frames,
+        "carried_kbps": outcome.carried_throughput_bps / 1e3,
+    }
+
+
+def run_fleet_point(population: int, frames: int) -> Dict:
+    campaign = Campaign(
+        name="fleet-point-J1e5",
+        runner=fleet_point_replication,
+        points=[{"population": population, "frames": frames}],
+        replications=1,
+        root_seed=99,
+    )
+    started = time.perf_counter()
+    outcome = campaign.run(workers=1)
+    elapsed = time.perf_counter() - started
+    metrics = outcome.points[0].replications[0]
+    print(
+        f"fleet point: J={metrics['population']:.0f}, {frames} frames, "
+        f"{metrics['s_per_frame'] * 1e3:.0f} ms/frame (batched_fleet=True)"
+    )
+    return {
+        "population": metrics["population"],
+        "frames": frames,
+        "batched_fleet": True,
+        "campaign_elapsed_s": round(elapsed, 4),
+        "sim_elapsed_s": round(metrics["sim_elapsed_s"], 4),
+        "s_per_frame": round(metrics["s_per_frame"], 4),
+    }
+
+
+# --------------------------------------------------------------------------
+# entry point
+# --------------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid / tiny system for CI")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="worker counts to sweep (default: 1 4 8; smoke: 1 2)")
+    parser.add_argument("--replications", type=int, default=None,
+                        help="seed replications per grid point")
+    parser.add_argument("--fleet-population", type=int, default=100_000)
+    parser.add_argument("--fleet-frames", type=int, default=10)
+    parser.add_argument("--skip-fleet", action="store_true",
+                        help="skip the J=1e5 fleet-path point")
+    args = parser.parse_args(argv)
+
+    worker_counts = args.workers or ([1, 2] if args.smoke else [1, 4, 8])
+    replications = args.replications or (1 if args.smoke else 4)
+
+    report = {
+        "generated_by": "benchmarks/bench_campaign.py",
+        "mode": "smoke" if args.smoke else "full",
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "coverage_scaling": run_coverage_scaling(
+            worker_counts, args.smoke, replications
+        ),
+    }
+    if not args.skip_fleet and not args.smoke:
+        report["fleet_point"] = run_fleet_point(
+            args.fleet_population, args.fleet_frames
+        )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

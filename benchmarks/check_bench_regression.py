@@ -1,9 +1,10 @@
 """CI benchmark regression gate.
 
-Compares the smoke-scale reports of the four perf harnesses
+Compares the smoke-scale reports of the perf harnesses
 (``bench_t4_frame_rate.py``, ``bench_admission_queue.py``,
-``bench_solvers.py``, ``bench_fleet.py``) against committed baselines and
-fails (non-zero exit) when the optimized paths regress:
+``bench_solvers.py``, ``bench_fleet.py``, ``bench_campaign.py``) against
+committed baselines and fails (non-zero exit) when the optimized paths
+regress:
 
 * every parity verdict in the smoke reports must hold (the optimized kernels
   must still produce the guaranteed numerics);
@@ -96,6 +97,18 @@ def _fleet_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
     return dict(report.get("speedup_trajectory", {})), failures
 
 
+def _campaign_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
+    failures = []
+    scaling = report.get("coverage_scaling", {})
+    if not scaling.get("parity_bit_identical", False):
+        failures.append(
+            "campaign: aggregates are no longer bit-identical across worker counts"
+        )
+    # Worker-scaling throughput is hardware-bound (CI runners vary in core
+    # count), so only the determinism contract is gated, not the speedups.
+    return {}, failures
+
+
 def _gate(
     name: str,
     measurements: Dict[str, float],
@@ -131,6 +144,7 @@ def main(argv=None) -> int:
     parser.add_argument("--admission", type=Path, default=Path("BENCH_admission.smoke.json"))
     parser.add_argument("--solvers", type=Path, default=Path("BENCH_solvers.smoke.json"))
     parser.add_argument("--fleet", type=Path, default=Path("BENCH_fleet.smoke.json"))
+    parser.add_argument("--campaign", type=Path, default=Path("BENCH_campaign.smoke.json"))
     parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
     parser.add_argument(
         "--full-solvers-baseline",
@@ -154,6 +168,7 @@ def main(argv=None) -> int:
         "admission": (args.admission, _admission_measurements),
         "solvers": (args.solvers, _solvers_measurements),
         "fleet": (args.fleet, _fleet_measurements),
+        "campaign": (args.campaign, _campaign_measurements),
     }
     for name, (path, extract) in reports.items():
         if not path.exists():

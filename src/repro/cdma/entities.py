@@ -131,17 +131,27 @@ class MobileStation:
         # per frame — so FCH field writes are pushed to registered observers.
         object.__setattr__(self, name, value)
         if name == "fch_active" or name == "fch_rate_factor":
-            observers = self.__dict__.get("_fch_observers")
-            if observers:
-                results = [callback(self) for callback in observers]
-                if False in results:
-                    # Prune observers of garbage-collected networks so long
-                    # ablation sweeps reusing mobiles don't accumulate them.
-                    observers[:] = [
-                        cb
-                        for cb, alive in zip(observers, results)
-                        if alive is not False
-                    ]
+            self._notify_fch_observers()
+
+    def _notify_fch_observers(self) -> None:
+        """Push the current FCH fields to every registered observer.
+
+        Bulk writers (:meth:`repro.cdma.network.CdmaNetwork.set_fch_state`)
+        update the fields with ``object.__setattr__`` — which skips
+        :meth:`__setattr__` — and call this once per mobile only when a
+        *foreign* observer needs the notification.
+        """
+        observers = self.__dict__.get("_fch_observers")
+        if observers:
+            results = [callback(self) for callback in observers]
+            if False in results:
+                # Prune observers of garbage-collected networks so long
+                # ablation sweeps reusing mobiles don't accumulate them.
+                observers[:] = [
+                    cb
+                    for cb, alive in zip(observers, results)
+                    if alive is not False
+                ]
 
     def _add_fch_observer(self, callback) -> None:
         """Register an FCH-write observer.

@@ -271,8 +271,14 @@ class CdmaNetwork:
         self._fch_rate = np.asarray(
             [m.fch_rate_factor for m in self.mobiles], dtype=float
         ).reshape(num_mobiles)
+        # Keep our own sync callbacks addressable by row: the bulk writer
+        # (set_fch_state) updates the arrays directly and only dispatches
+        # observers foreign to this network.
+        self._fch_sync_callbacks = []
         for row, mobile in enumerate(self.mobiles):
-            mobile._add_fch_observer(self._make_fch_sync(row))
+            sync = self._make_fch_sync(row)
+            self._fch_sync_callbacks.append(sync)
+            mobile._add_fch_observer(sync)
         if mobility_fleet is not None:
             if mobility_fleet.positions.shape != (num_mobiles, 2):
                 raise ValueError(
@@ -357,13 +363,16 @@ class CdmaNetwork:
     ) -> None:
         """Bulk-update the FCH activity/rate of a subset of mobiles.
 
-        Diffs the desired per-mobile state against the current arrays and
-        writes only the *changed* entries through the
-        :class:`MobileStation` attributes, so the entity objects (and any
-        other network observing them) stay authoritative while a frame with
-        few transitions costs O(changes) attribute writes instead of one
-        write per mobile.  Used by the structure-of-arrays fleet path of the
-        dynamic simulator.
+        Diffs the desired per-mobile state against the current arrays, writes
+        the changed entries into this network's arrays in one vectorised
+        assignment, and back-fills the :class:`MobileStation` entities with
+        plain ``object.__setattr__`` — no observer dispatch — so the entity
+        objects stay authoritative while a bulk transition (e.g. the first
+        J=1e5 frame, where every mobile changes) costs two raw attribute
+        stores per changed mobile instead of two observed writes.  Mobiles
+        watched by *other* networks (ablation sweeps sharing entities) get
+        one combined observer notification per changed mobile.  Used by the
+        structure-of-arrays fleet path of the dynamic simulator.
         """
         indices = np.asarray(indices, dtype=int)
         active = np.asarray(active, dtype=bool)
@@ -371,11 +380,29 @@ class CdmaNetwork:
         changed = (self._fch_active[indices] != active) | (
             self._fch_rate[indices] != rate_factor
         )
+        changed_pos = np.flatnonzero(changed)
+        if changed_pos.size == 0:
+            return
+        rows = indices[changed_pos]
+        new_active = active[changed_pos]
+        new_rate = rate_factor[changed_pos]
+        # Vectorised write-through of this network's SoA state, then the
+        # entity write-back with object.__setattr__ (skipping the per-write
+        # observer dispatch of MobileStation.__setattr__ — our arrays are
+        # already current).  Observers registered by *other* networks still
+        # fire, once per changed mobile instead of once per field write.
+        self._fch_active[rows] = new_active
+        self._fch_rate[rows] = new_rate
+        own = self._fch_sync_callbacks
         mobiles = self.mobiles
-        for pos in np.flatnonzero(changed):
-            mobile = mobiles[int(indices[pos])]
-            mobile.fch_active = bool(active[pos])
-            mobile.fch_rate_factor = float(rate_factor[pos])
+        set_attr = object.__setattr__
+        for row, act, rate in zip(rows.tolist(), new_active.tolist(), new_rate.tolist()):
+            mobile = mobiles[row]
+            set_attr(mobile, "fch_active", act)
+            set_attr(mobile, "fch_rate_factor", rate)
+            observers = mobile.__dict__.get("_fch_observers")
+            if observers and (len(observers) != 1 or observers[0] is not own[row]):
+                mobile._notify_fch_observers()
 
     def _update_handoff(self) -> None:
         gains = self.link_gains.local_mean_gain()

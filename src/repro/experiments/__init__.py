@@ -25,11 +25,19 @@ prints the paper-style table; the corresponding pytest-benchmark lives in
 ``benchmarks/``.
 """
 
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    MetricSummary,
+    replication_seed,
+    seed_sequence_to_int,
+)
 from repro.experiments.common import (
     ExperimentResult,
     default_scheduler_factories,
     paper_scenario,
     paper_traffic,
+    scheduler_from_spec,
 )
 from repro.experiments.phy_throughput import run_phy_throughput
 from repro.experiments.delay_vs_load import run_delay_vs_load, run_admission_statistics
@@ -40,6 +48,12 @@ from repro.experiments.solver_ablation import run_solver_ablation
 from repro.experiments.handoff_ablation import run_handoff_ablation
 
 __all__ = [
+    "Campaign",
+    "CampaignResult",
+    "MetricSummary",
+    "replication_seed",
+    "seed_sequence_to_int",
+    "scheduler_from_spec",
     "ExperimentResult",
     "default_scheduler_factories",
     "paper_scenario",

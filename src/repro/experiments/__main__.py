@@ -1,0 +1,15 @@
+"""CLI entry point: run a paper experiment as a sharded Monte-Carlo campaign.
+
+``python -m repro.experiments`` dispatches to
+:func:`repro.experiments.campaign.main`.  (Running the submodule directly as
+``python -m repro.experiments.campaign`` also works but re-executes a module
+the package already imported, which CPython flags with a RuntimeWarning —
+this package-level entry point is the clean spelling.)
+"""
+
+import sys
+
+from repro.experiments.campaign import main
+
+if __name__ == "__main__":
+    sys.exit(main())

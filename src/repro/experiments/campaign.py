@@ -1,0 +1,522 @@
+"""Parallel Monte-Carlo campaign engine.
+
+The paper's headline numbers (capacity, coverage, delay-vs-load, objective
+trade-offs) are Monte-Carlo estimates: every experiment point must be
+replicated over independent seeds before a mean and a confidence interval
+mean anything.  This module turns the fast single-run simulator into a
+production-scale estimator:
+
+* a :class:`Campaign` is a declarative grid of experiment points (scenario ×
+  load × scheduler …), each replicated ``replications`` times;
+* every replication draws its randomness from a **deterministic seed tree**:
+  leaf ``(point, replication)`` of root seed ``s`` is
+  ``SeedSequence(entropy=s, spawn_key=(point, replication))``, so the stream
+  a replication sees depends only on its coordinates — never on execution
+  order, worker count or process identity;
+* replications are sharded across a :mod:`multiprocessing` pool
+  (``workers=1`` falls back to plain in-process execution); because of the
+  seed-tree contract the aggregated results are **bit-identical for any
+  worker count**;
+* completed replications are checkpointed to JSON after every result, so a
+  killed campaign resumes without recomputing finished work;
+* per-point aggregation (mean / CI half-width / extremes) goes through
+  :mod:`repro.utils.stats`, and the same module's hypothesis-test battery
+  certifies that the seed tree produces independent streams.
+
+The engine is deliberately simulator-agnostic: a *runner* is any picklable
+module-level callable ``runner(params, seed_sequence) -> dict[str, float]``.
+The experiment modules (:mod:`repro.experiments.coverage`,
+:mod:`repro.experiments.delay_vs_load`, …) each expose such a runner plus a
+reducer that turns the campaign result back into the paper-style table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.stats import confidence_interval
+
+__all__ = [
+    "replication_seed",
+    "seed_sequence_to_int",
+    "MetricSummary",
+    "PointResult",
+    "CampaignResult",
+    "Campaign",
+    "main",
+]
+
+MetricDict = Dict[str, float]
+Runner = Callable[[Mapping[str, object], np.random.SeedSequence], MetricDict]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic seed tree
+# ---------------------------------------------------------------------------
+def replication_seed(
+    root_seed: int, seed_group: int, replication: int
+) -> np.random.SeedSequence:
+    """Seed-tree leaf for replication ``replication`` of group ``seed_group``.
+
+    The leaf is addressed purely by its coordinates via the ``spawn_key``
+    mechanism of :class:`numpy.random.SeedSequence`, so any shard of any
+    worker reconstructs exactly the same stream without coordination — the
+    determinism contract the campaign engine is built on.  Points sharing a
+    seed group (common-random-numbers designs) share leaves; distinct
+    ``(seed_group, replication)`` coordinates give provably independent
+    streams.
+    """
+    if seed_group < 0 or replication < 0:
+        raise ValueError("seed_group and replication must be non-negative")
+    return np.random.SeedSequence(
+        entropy=int(root_seed), spawn_key=(int(seed_group), int(replication))
+    )
+
+
+def seed_sequence_to_int(sequence: np.random.SeedSequence) -> int:
+    """Collapse a seed-tree leaf to a 64-bit integer master seed.
+
+    Used to drive components whose configuration takes a plain integer seed
+    (e.g. :attr:`repro.simulation.scenario.ScenarioConfig.seed`); the mapping
+    is injective enough in practice that distinct leaves keep distinct
+    streams (certified by the collision tests in the campaign test suite).
+    """
+    return int(sequence.generate_state(1, np.uint64)[0])
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric over the replications of one point."""
+
+    count: int
+    mean: float
+    ci_half_width: float
+    std: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], confidence: float = 0.95
+    ) -> "MetricSummary":
+        """Summarise ``samples`` with a Student-t confidence interval."""
+        arr = np.asarray(list(samples), dtype=float)
+        finite = arr[np.isfinite(arr)]
+        if finite.size == 0:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        mean, half = confidence_interval(finite, confidence)
+        std = float(finite.std(ddof=1)) if finite.size > 1 else 0.0
+        return cls(
+            count=int(finite.size),
+            mean=mean,
+            ci_half_width=half,
+            std=std,
+            min=float(finite.min()),
+            max=float(finite.max()),
+        )
+
+
+@dataclass
+class PointResult:
+    """All replications of one grid point, keyed by replication index."""
+
+    index: int
+    params: Dict[str, object]
+    replications: Dict[int, MetricDict] = field(default_factory=dict)
+
+    def metric_names(self) -> List[str]:
+        """Union of metric names over the replications, insertion-ordered."""
+        names: Dict[str, None] = {}
+        for rep in sorted(self.replications):
+            for key in self.replications[rep]:
+                names.setdefault(key, None)
+        return list(names)
+
+    def samples(self, metric: str) -> List[float]:
+        """The metric's samples in replication order (determinism anchor)."""
+        return [
+            float(self.replications[rep][metric])
+            for rep in sorted(self.replications)
+            if metric in self.replications[rep]
+        ]
+
+    def summary(self, confidence: float = 0.95) -> Dict[str, MetricSummary]:
+        """Per-metric aggregate over the replications."""
+        return {
+            name: MetricSummary.from_samples(self.samples(name), confidence)
+            for name in self.metric_names()
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a campaign run."""
+
+    name: str
+    root_seed: int
+    replications: int
+    points: List[PointResult]
+    reused_replications: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def completed_replications(self) -> int:
+        """Total number of completed replications across all points."""
+        return sum(len(p.replications) for p in self.points)
+
+    def summaries(self, confidence: float = 0.95) -> List[Dict[str, MetricSummary]]:
+        """Per-point summaries in grid order."""
+        return [point.summary(confidence) for point in self.points]
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point (module level so it pickles by reference)
+# ---------------------------------------------------------------------------
+def _execute_task(
+    payload: Tuple[Runner, Mapping[str, object], int, int, int, int],
+) -> Tuple[int, int, MetricDict]:
+    runner, params, root_seed, point_index, replication, seed_group = payload
+    seed = replication_seed(root_seed, seed_group, replication)
+    metrics = runner(params, seed)
+    clean = {str(key): float(value) for key, value in metrics.items()}
+    return point_index, replication, clean
+
+
+# ---------------------------------------------------------------------------
+# Campaign
+# ---------------------------------------------------------------------------
+class Campaign:
+    """A sharded multi-replication Monte-Carlo experiment.
+
+    Parameters
+    ----------
+    name:
+        Campaign identifier (recorded in checkpoints; a checkpoint written by
+        a differently shaped campaign is refused).
+    runner:
+        Module-level callable ``runner(params, seed_sequence) -> dict`` that
+        executes one replication and returns scalar metrics.  It must be
+        picklable (importable by name) for multi-worker runs, and must draw
+        **all** of its randomness from the passed seed sequence.
+    points:
+        The experiment grid: one params mapping per point.  Params must be
+        picklable for multi-worker runs.
+    replications:
+        Independent replications per point.
+    root_seed:
+        Root of the deterministic seed tree.
+    metadata:
+        Free-form information carried to the reducers (titles, thresholds).
+    seed_groups:
+        Optional per-point seed-group indices (same length as ``points``).
+        Points sharing a group draw the **same** replication streams — the
+        common-random-numbers design the paper-style experiments use to make
+        scheduler comparisons paired (same drops, same traffic sample paths).
+        ``None`` gives every point its own group (fully independent points).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        runner: Runner,
+        points: Sequence[Mapping[str, object]],
+        replications: int = 1,
+        root_seed: int = 0,
+        metadata: Optional[Mapping[str, object]] = None,
+        seed_groups: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not points:
+            raise ValueError("points must not be empty")
+        if replications < 1:
+            raise ValueError("replications must be at least 1")
+        self.name = str(name)
+        self.runner = runner
+        self.points = [dict(p) for p in points]
+        self.replications = int(replications)
+        self.root_seed = int(root_seed)
+        self.metadata = dict(metadata or {})
+        if seed_groups is None:
+            self.seed_groups = list(range(len(self.points)))
+        else:
+            if len(seed_groups) != len(self.points):
+                raise ValueError("seed_groups must match points in length")
+            self.seed_groups = [int(g) for g in seed_groups]
+
+    # -- checkpointing -----------------------------------------------------------
+    @staticmethod
+    def _stable_repr(value: object) -> str:
+        """A repr of a point param that survives process restarts.
+
+        ``repr`` of a function or bound method embeds a memory address, which
+        would change the fingerprint on every run and make checkpoints of
+        campaigns with callable scheduler specs unresumable — so callables
+        are identified by their qualified name instead.
+        """
+        if callable(value):
+            module = getattr(value, "__module__", "")
+            name = getattr(value, "__qualname__", None) or getattr(
+                value, "__name__", None
+            )
+            if name is not None:
+                return f"<callable {module}.{name}>"
+            return f"<callable {type(value).__qualname__}>"
+        return repr(value)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the campaign shape (grid, replications, seed)."""
+        parts = [
+            self.name,
+            str(self.root_seed),
+            str(self.replications),
+            str(len(self.points)),
+            repr(self.seed_groups),
+        ]
+        for point in self.points:
+            parts.append(
+                repr(sorted((str(k), self._stable_repr(v)) for k, v in point.items()))
+            )
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+
+    def _load_checkpoint(self, path: str) -> Dict[str, MetricDict]:
+        if not os.path.exists(path):
+            return {}
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("fingerprint") != self.fingerprint():
+            raise ValueError(
+                f"checkpoint {path!r} was written by a different campaign "
+                f"(name/grid/replications/root seed changed); refusing to resume"
+            )
+        return {str(k): dict(v) for k, v in payload.get("completed", {}).items()}
+
+    def _write_checkpoint(
+        self, path: str, completed: Mapping[str, MetricDict], fingerprint: str
+    ) -> None:
+        payload = {
+            "campaign": self.name,
+            "root_seed": self.root_seed,
+            "replications": self.replications,
+            "num_points": len(self.points),
+            "fingerprint": fingerprint,
+            "completed": completed,
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    # -- execution ---------------------------------------------------------------
+    def tasks(self) -> List[Tuple[int, int]]:
+        """All ``(point_index, replication)`` coordinates of the campaign."""
+        return [
+            (point_index, replication)
+            for point_index in range(len(self.points))
+            for replication in range(self.replications)
+        ]
+
+    def run(
+        self,
+        workers: int = 1,
+        checkpoint_path: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CampaignResult:
+        """Execute the campaign and aggregate the results.
+
+        Parameters
+        ----------
+        workers:
+            Worker processes; ``1`` runs in-process (no pool, no pickling
+            requirements).  Any value yields bit-identical aggregates for a
+            fixed root seed — sharding only changes wall-clock time.
+        checkpoint_path:
+            JSON file updated after every completed replication; an existing
+            checkpoint of the same campaign is resumed (completed
+            replications are loaded, not recomputed).
+        progress:
+            Optional ``progress(done, total)`` callback.
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        started = time.perf_counter()
+        # Hashing the whole grid is O(points); do it once per run, not once
+        # per checkpoint write.
+        fingerprint = self.fingerprint() if checkpoint_path else ""
+        completed: Dict[str, MetricDict] = {}
+        if checkpoint_path:
+            completed = self._load_checkpoint(checkpoint_path)
+        reused = len(completed)
+
+        pending = [
+            (point_index, replication)
+            for point_index, replication in self.tasks()
+            if f"{point_index}/{replication}" not in completed
+        ]
+        total = len(self.points) * self.replications
+        done = total - len(pending)
+
+        def store(point_index: int, replication: int, metrics: MetricDict) -> None:
+            nonlocal done
+            completed[f"{point_index}/{replication}"] = metrics
+            done += 1
+            if checkpoint_path:
+                self._write_checkpoint(checkpoint_path, completed, fingerprint)
+            if progress is not None:
+                progress(done, total)
+
+        if workers == 1 or not pending:
+            for point_index, replication in pending:
+                seed = replication_seed(
+                    self.root_seed, self.seed_groups[point_index], replication
+                )
+                metrics = self.runner(self.points[point_index], seed)
+                store(
+                    point_index,
+                    replication,
+                    {str(k): float(v) for k, v in metrics.items()},
+                )
+        else:
+            import multiprocessing as mp
+
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            ctx = mp.get_context(method)
+            payloads = [
+                (self.runner, self.points[pi], self.root_seed, pi, rep,
+                 self.seed_groups[pi])
+                for pi, rep in pending
+            ]
+            with ctx.Pool(processes=workers) as pool:
+                for point_index, replication, metrics in pool.imap_unordered(
+                    _execute_task, payloads, chunksize=1
+                ):
+                    store(point_index, replication, metrics)
+
+        points = [
+            PointResult(index=index, params=dict(params))
+            for index, params in enumerate(self.points)
+        ]
+        for key, metrics in completed.items():
+            point_index, replication = (int(part) for part in key.split("/"))
+            points[point_index].replications[replication] = metrics
+        return CampaignResult(
+            name=self.name,
+            root_seed=self.root_seed,
+            replications=self.replications,
+            points=points,
+            reused_replications=reused,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:  # pragma: no cover - CLI entry point
+    """Run one of the ported experiments as a sharded campaign.
+
+    Example (the CI smoke grid)::
+
+        python -m repro.experiments --experiment coverage \\
+            --loads 4 8 --schedulers "JABA-SD(J1)" FCFS \\
+            --num-drops 2 --replications 1 --workers 2
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--experiment",
+        choices=["coverage", "delay", "capacity", "objectives"],
+        default="coverage",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--replications", type=int, default=1,
+                        help="replications (seeds) per grid point")
+    parser.add_argument("--loads", type=int, nargs="+", default=None,
+                        help="data users per cell swept by the grid")
+    parser.add_argument("--schedulers", nargs="+", default=None,
+                        help="scheduler labels (e.g. 'JABA-SD(J1)' FCFS)")
+    parser.add_argument("--num-drops", type=int, default=None,
+                        help="coverage only: Monte-Carlo drops per replication "
+                             "(default 30)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="dynamic experiments: simulated seconds per run")
+    parser.add_argument("--warmup", type=float, default=1.0,
+                        help="dynamic experiments: warm-up seconds per run")
+    parser.add_argument("--root-seed", type=int, default=None,
+                        help="seed-tree root (default: the experiment default)")
+    parser.add_argument("--checkpoint", default=None,
+                        help="JSON checkpoint path (resumes if it exists)")
+    args = parser.parse_args(argv)
+
+    # Flags that a given experiment would silently drop are rejected instead.
+    if args.experiment != "coverage" and args.num_drops is not None:
+        parser.error("--num-drops only applies to --experiment coverage")
+    if args.experiment == "objectives" and (args.loads or args.schedulers):
+        parser.error(
+            "--loads/--schedulers do not apply to --experiment objectives "
+            "(it sweeps the J2 delay-penalty weight at one load)"
+        )
+
+    from repro.experiments.capacity import run_capacity
+    from repro.experiments.common import paper_scenario
+    from repro.experiments.coverage import run_coverage
+    from repro.experiments.delay_vs_load import run_delay_vs_load
+    from repro.experiments.objectives_tradeoff import run_objectives_tradeoff
+
+    factories = None
+    if args.schedulers:
+        factories = {label: label for label in args.schedulers}
+    common = dict(workers=args.workers, checkpoint_path=args.checkpoint)
+    if args.experiment == "coverage":
+        kwargs = dict(
+            loads=args.loads,
+            num_drops=args.num_drops if args.num_drops is not None else 30,
+            num_replications=args.replications,
+            scheduler_factories=factories,
+            **common,
+        )
+        if args.root_seed is not None:
+            kwargs["seed"] = args.root_seed
+        result = run_coverage(**kwargs)
+    else:
+        scenario = paper_scenario(duration_s=args.duration, warmup_s=args.warmup)
+        if args.root_seed is not None:
+            scenario = scenario.with_seed(args.root_seed)
+        if args.experiment == "delay":
+            result = run_delay_vs_load(
+                loads=args.loads,
+                scenario=scenario,
+                scheduler_factories=factories,
+                num_seeds=args.replications,
+                **common,
+            )
+        elif args.experiment == "capacity":
+            result = run_capacity(
+                loads=args.loads,
+                scenario=scenario,
+                scheduler_factories=factories,
+                num_seeds=args.replications,
+                **common,
+            )
+        else:
+            result = run_objectives_tradeoff(
+                scenario=scenario, num_seeds=args.replications, **common
+            )
+    print(result.to_table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.config import SystemConfig
 from repro.mac.schedulers import (
@@ -18,11 +18,18 @@ from repro.utils.tables import format_records
 __all__ = [
     "ExperimentResult",
     "default_scheduler_factories",
+    "scheduler_from_spec",
     "paper_traffic",
     "paper_scenario",
 ]
 
 SchedulerFactory = Callable[[], BurstScheduler]
+
+#: A scheduler may be specified either as a factory callable or as one of the
+#: labels of :func:`default_scheduler_factories`.  Label specs are what the
+#: campaign engine ships to worker processes: a plain string pickles, a
+#: locally defined factory does not.
+SchedulerSpec = Union[str, SchedulerFactory]
 
 
 @dataclass
@@ -76,6 +83,24 @@ def default_scheduler_factories(
     if include_greedy:
         factories["JABA-SD(J1/greedy)"] = lambda: JabaSdScheduler("J1", solver="greedy")
     return factories
+
+
+def scheduler_from_spec(spec: SchedulerSpec) -> BurstScheduler:
+    """Instantiate a scheduler from a factory callable or a registry label.
+
+    Campaign replication runners execute in worker processes, so their params
+    carry scheduler *labels* whenever the default registry is used; custom
+    factory callables are still accepted (they just need to be picklable for
+    ``workers > 1``).
+    """
+    if callable(spec):
+        return spec()
+    factories = default_scheduler_factories(include_greedy=True)
+    if spec not in factories:
+        raise KeyError(
+            f"unknown scheduler label {spec!r}; known labels: {sorted(factories)}"
+        )
+    return factories[spec]()
 
 
 def paper_traffic() -> TrafficConfig:

@@ -8,6 +8,10 @@ scaling factor ``lambda`` (``delay_penalty_scale``) and records mean delay,
 tail delay and carried throughput, with ``lambda = 0`` reducing exactly to
 J1.
 
+The sweep is a :class:`~repro.experiments.campaign.Campaign` with one grid
+point per ``lambda`` and a shared seed group (every ``lambda`` replays the
+same traffic sample paths, so the trade-off curve is paired).
+
 Expected shape: increasing ``lambda`` shortens the delay tail (p90) at the
 cost of a small loss in carried throughput, because the scheduler
 occasionally serves stale requests from users in poor channel conditions
@@ -19,12 +23,88 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro.experiments.campaign import Campaign, CampaignResult
 from repro.experiments.common import ExperimentResult, paper_scenario
-from repro.mac.schedulers import JabaSdScheduler
-from repro.simulation.runner import average_results, run_scenario
+from repro.experiments.delay_vs_load import dynamic_replication
 from repro.simulation.scenario import ScenarioConfig
 
-__all__ = ["run_objectives_tradeoff", "main"]
+__all__ = ["build_objectives_campaign", "run_objectives_tradeoff", "main"]
+
+
+def build_objectives_campaign(
+    penalty_scales: Optional[Sequence[float]] = None,
+    forgetting_factor: float = 0.2,
+    load: int = 18,
+    scenario: Optional[ScenarioConfig] = None,
+    num_seeds: int = 1,
+) -> Campaign:
+    """Declarative ``lambda`` grid behind :func:`run_objectives_tradeoff`."""
+    penalty_scales = (
+        list(penalty_scales) if penalty_scales is not None else [0.0, 0.5, 1.0, 2.0, 4.0]
+    )
+    base = scenario if scenario is not None else paper_scenario()
+    base = base.with_load(load)
+
+    points = []
+    for scale in penalty_scales:
+        mac = replace(
+            base.system.mac,
+            delay_penalty_scale=float(scale),
+            delay_forgetting_factor=forgetting_factor if scale > 0 else 0.0,
+        )
+        objective = "J1" if scale == 0 else "J2"
+        points.append(
+            {
+                "scheduler": f"JABA-SD({objective})",
+                "scheduler_spec": f"JABA-SD({objective})",
+                "objective": objective,
+                "delay_penalty_scale": float(scale),
+                "scenario": replace(base, system=base.system.with_overrides(mac=mac)),
+            }
+        )
+    return Campaign(
+        name="F5-objectives-tradeoff",
+        runner=dynamic_replication,
+        points=points,
+        replications=num_seeds,
+        root_seed=base.seed,
+        # All lambdas replay the same replication streams (paired curve).
+        seed_groups=[0] * len(points),
+        metadata={"forgetting_factor": forgetting_factor, "load": int(load)},
+    )
+
+
+def reduce_objectives(
+    campaign_result: CampaignResult, forgetting_factor: float, load: int
+) -> ExperimentResult:
+    """Aggregate the campaign into the paper-style F5 table."""
+    result = ExperimentResult(
+        experiment_id="F5",
+        title=(
+            "J1 vs. J2 trade-off: delay and throughput as the delay-penalty "
+            f"weight lambda varies (mu = {forgetting_factor}, {load} data "
+            f"users/cell, {campaign_result.replications} seed replications)"
+        ),
+    )
+    for point in campaign_result.points:
+        summary = point.summary()
+        delay = summary["mean_delay_s"]
+        result.add(
+            objective=point.params["objective"],
+            delay_penalty_scale=float(point.params["delay_penalty_scale"]),
+            mean_delay_s=delay.mean,
+            delay_ci_s=delay.ci_half_width,
+            p90_delay_s=summary["p90_delay_s"].mean,
+            carried_kbps=summary["carried_kbps"].mean,
+            mean_granted_m=summary["mean_granted_m"].mean,
+            completed_calls=summary["completed_calls"].mean,
+            n_seeds=delay.count,
+        )
+    result.notes = (
+        "lambda = 0 is exactly objective J1; larger lambda trades carried "
+        "throughput for a shorter delay tail."
+    )
+    return result
 
 
 def run_objectives_tradeoff(
@@ -33,6 +113,8 @@ def run_objectives_tradeoff(
     load: int = 18,
     scenario: Optional[ScenarioConfig] = None,
     num_seeds: int = 1,
+    workers: int = 1,
+    checkpoint_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Sweep the delay-penalty weight of objective J2 at a fixed (loaded) point.
 
@@ -44,47 +126,19 @@ def run_objectives_tradeoff(
         ``mu`` (``delay_forgetting_factor``) used for all non-zero points.
     load:
         Data users per cell (choose a point beyond the knee of F2).
+    num_seeds / workers / checkpoint_path:
+        Campaign controls, as in
+        :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
     """
-    penalty_scales = (
-        list(penalty_scales) if penalty_scales is not None else [0.0, 0.5, 1.0, 2.0, 4.0]
+    campaign = build_objectives_campaign(
+        penalty_scales=penalty_scales,
+        forgetting_factor=forgetting_factor,
+        load=load,
+        scenario=scenario,
+        num_seeds=num_seeds,
     )
-    base = scenario if scenario is not None else paper_scenario()
-    base = base.with_load(load)
-
-    result = ExperimentResult(
-        experiment_id="F5",
-        title=(
-            "J1 vs. J2 trade-off: delay and throughput as the delay-penalty "
-            f"weight lambda varies (mu = {forgetting_factor}, {load} data users/cell)"
-        ),
-    )
-    for scale in penalty_scales:
-        mac = replace(
-            base.system.mac,
-            delay_penalty_scale=float(scale),
-            delay_forgetting_factor=forgetting_factor if scale > 0 else 0.0,
-        )
-        system = base.system.with_overrides(mac=mac)
-        run_config = replace(base, system=system)
-        objective = "J1" if scale == 0 else "J2"
-        runs = run_scenario(
-            run_config, lambda obj=objective: JabaSdScheduler(obj), num_seeds=num_seeds
-        )
-        summary = average_results(runs)
-        result.add(
-            objective=objective,
-            delay_penalty_scale=float(scale),
-            mean_delay_s=summary.mean_packet_delay_s,
-            p90_delay_s=summary.p90_packet_delay_s,
-            carried_kbps=summary.carried_throughput_bps / 1e3,
-            mean_granted_m=summary.mean_granted_m,
-            completed_calls=summary.completed_packet_calls,
-        )
-    result.notes = (
-        "lambda = 0 is exactly objective J1; larger lambda trades carried "
-        "throughput for a shorter delay tail."
-    )
-    return result
+    outcome = campaign.run(workers=workers, checkpoint_path=checkpoint_path)
+    return reduce_objectives(outcome, forgetting_factor, load)
 
 
 def main() -> None:  # pragma: no cover - CLI entry point

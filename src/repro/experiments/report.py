@@ -3,7 +3,14 @@
 ``python -m repro.experiments.report`` regenerates every experiment at full
 scale (this takes a while — the dynamic-simulation experiments dominate) and
 prints the paper-style tables one after another.  Pass ``--quick`` for a
-reduced-size pass useful as a smoke test.
+reduced-size pass useful as a smoke test, and ``--workers N`` to shard the
+Monte-Carlo replications of the campaign-backed experiments over ``N``
+processes (the numbers are bit-identical for any worker count).
+
+Every Monte-Carlo table now carries its statistical context: the replication
+count (``n_seeds`` / ``n_reps``) and the 95% confidence-interval half-width
+(``delay_ci_s`` / ``coverage_ci``) of the headline metric, instead of bare
+means.
 """
 
 from __future__ import annotations
@@ -25,31 +32,36 @@ from repro.experiments.solver_ablation import run_solver_ablation
 __all__ = ["full_report", "quick_report", "main"]
 
 
-def full_report() -> List[ExperimentResult]:
+def full_report(workers: int = 1) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
     """Run every experiment at the scale recorded in EXPERIMENTS.md."""
     return [
         run_phy_throughput(monte_carlo_samples=100_000),
-        run_delay_vs_load(loads=[6, 12, 18, 24], num_seeds=2),
-        run_admission_statistics(load=18, num_seeds=2),
-        run_capacity(loads=[6, 12, 18, 24, 30], num_seeds=1),
-        run_coverage(loads=[4, 8, 16, 24], num_drops=30),
-        run_objectives_tradeoff(load=18, num_seeds=1),
+        run_delay_vs_load(loads=[6, 12, 18, 24], num_seeds=3, workers=workers),
+        run_admission_statistics(load=18, num_seeds=3, workers=workers),
+        run_capacity(loads=[6, 12, 18, 24, 30], num_seeds=2, workers=workers),
+        run_coverage(loads=[4, 8, 16, 24], num_drops=10, num_replications=3,
+                     workers=workers),
+        run_objectives_tradeoff(load=18, num_seeds=2, workers=workers),
         run_solver_ablation(request_counts=[2, 4, 8, 12, 16], instances_per_count=5),
         run_handoff_ablation(num_drops=25),
     ]
 
 
-def quick_report() -> List[ExperimentResult]:
+def quick_report(workers: int = 1) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
     """A reduced-size pass of every experiment (minutes instead of hours)."""
     from repro.experiments.common import paper_scenario
 
     small_scenario = paper_scenario(duration_s=6.0, warmup_s=1.0)
     return [
         run_phy_throughput(),
-        run_delay_vs_load(loads=[8, 16], scenario=small_scenario),
-        run_capacity(loads=[8, 16], scenario=small_scenario, delay_target_s=1.0),
-        run_coverage(loads=[8, 16], num_drops=6),
-        run_objectives_tradeoff(penalty_scales=[0.0, 2.0], load=16, scenario=small_scenario),
+        run_delay_vs_load(loads=[8, 16], scenario=small_scenario, num_seeds=2,
+                          workers=workers),
+        run_capacity(loads=[8, 16], scenario=small_scenario, delay_target_s=1.0,
+                     workers=workers),
+        run_coverage(loads=[8, 16], num_drops=3, num_replications=2,
+                     workers=workers),
+        run_objectives_tradeoff(penalty_scales=[0.0, 2.0], load=16,
+                                scenario=small_scenario, workers=workers),
         run_solver_ablation(request_counts=[4, 8], instances_per_count=2),
         run_handoff_ablation(num_drops=6),
     ]
@@ -58,9 +70,11 @@ def quick_report() -> List[ExperimentResult]:
 def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced-size pass")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes sharding the Monte-Carlo replications")
     args = parser.parse_args(argv)
     started = time.time()
-    results = quick_report() if args.quick else full_report()
+    results = quick_report(args.workers) if args.quick else full_report(args.workers)
     for result in results:
         print(result.to_table())
         print()

@@ -316,3 +316,127 @@ class SummaryStatistics:
     def from_running(cls, rs: RunningStats) -> "SummaryStatistics":
         """Build a summary from a running accumulator."""
         return cls(count=rs.count, mean=rs.mean, std=rs.std, min=rs.min, max=rs.max)
+
+
+# ---------------------------------------------------------------------------
+# Statistical test battery
+# ---------------------------------------------------------------------------
+#
+# The Monte-Carlo campaign engine (:mod:`repro.experiments.campaign`) derives
+# every replication's random stream from a deterministic seed tree; the tests
+# below are the battery used to certify that those streams behave like
+# independent uniform sources (no seed collisions, no cross-stream
+# correlation).  They are generic two-sided hypothesis tests, so they are
+# equally usable on simulation outputs (e.g. comparing delay samples of two
+# schedulers).
+
+
+@dataclass(frozen=True)
+class HypothesisTestResult:
+    """Outcome of one statistical hypothesis test.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the test performed.
+    statistic:
+        Value of the test statistic.
+    pvalue:
+        Two-sided p-value under the null hypothesis.
+    """
+
+    name: str
+    statistic: float
+    pvalue: float
+
+    def rejects(self, alpha: float = 0.01) -> bool:
+        """Whether the null hypothesis is rejected at significance ``alpha``."""
+        return self.pvalue < alpha
+
+
+def ks_uniformity_test(samples: Sequence[float]) -> HypothesisTestResult:
+    """Kolmogorov–Smirnov test of ``samples`` against the U(0, 1) null.
+
+    Used to certify that a replication stream's raw draws are uniform.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size < 2:
+        raise ValueError("ks_uniformity_test needs at least two samples")
+    from scipy import stats as scipy_stats
+
+    statistic, pvalue = scipy_stats.kstest(arr, "uniform")
+    return HypothesisTestResult("ks-uniform", float(statistic), float(pvalue))
+
+
+def pearson_independence_test(
+    a: Sequence[float], b: Sequence[float]
+) -> HypothesisTestResult:
+    """Pearson correlation test between two equally long sample streams.
+
+    The null hypothesis is zero linear correlation; a small p-value flags a
+    dependent (e.g. colliding) pair of streams.
+    """
+    x = np.asarray(list(a), dtype=float)
+    y = np.asarray(list(b), dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("streams must have equal length")
+    if x.size < 3:
+        raise ValueError("pearson_independence_test needs at least three samples")
+    from scipy import stats as scipy_stats
+
+    r, pvalue = scipy_stats.pearsonr(x, y)
+    return HypothesisTestResult("pearson-independence", float(r), float(pvalue))
+
+
+def chi_square_uniformity_test(
+    samples: Sequence[float], bins: int = 16
+) -> HypothesisTestResult:
+    """Chi-square goodness-of-fit of ``samples`` in [0, 1) to uniformity."""
+    arr = np.asarray(list(samples), dtype=float)
+    if bins < 2:
+        raise ValueError("bins must be at least 2")
+    if arr.size < 5 * bins:
+        raise ValueError("need at least 5 samples per bin for the chi-square test")
+    if np.any((arr < 0.0) | (arr > 1.0)):
+        raise ValueError("samples must lie in [0, 1]")
+    counts, _ = np.histogram(arr, bins=bins, range=(0.0, 1.0))
+    from scipy import stats as scipy_stats
+
+    statistic, pvalue = scipy_stats.chisquare(counts)
+    return HypothesisTestResult("chi2-uniform", float(statistic), float(pvalue))
+
+
+def max_pairwise_correlation(streams: np.ndarray) -> float:
+    """Largest absolute off-diagonal correlation among row streams.
+
+    ``streams`` is an ``(n_streams, n_samples)`` array; the return value is
+    the worst-case |Pearson r| over all stream pairs — a cheap screen for
+    seed-tree collisions before running per-pair tests.
+    """
+    arr = np.asarray(streams, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] < 2 or arr.shape[1] < 3:
+        raise ValueError("streams must be (n_streams >= 2, n_samples >= 3)")
+    corr = np.corrcoef(arr)
+    off = corr[~np.eye(arr.shape[0], dtype=bool)]
+    return float(np.max(np.abs(off)))
+
+
+def stream_collision_fraction(streams: np.ndarray, prefix: int = 8) -> float:
+    """Fraction of stream pairs sharing an identical leading ``prefix`` draw.
+
+    Two replication streams spawned from distinct seed-tree leaves should
+    never agree on their first ``prefix`` draws; any collision indicates the
+    seed derivation collapsed two leaves onto the same state.
+    """
+    arr = np.asarray(streams, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] < 2:
+        raise ValueError("streams must be (n_streams >= 2, n_samples)")
+    prefix = min(int(prefix), arr.shape[1])
+    heads = [tuple(row[:prefix].tolist()) for row in arr]
+    n = len(heads)
+    collisions = 0
+    seen: dict = {}
+    for head in heads:
+        collisions += seen.get(head, 0)
+        seen[head] = seen.get(head, 0) + 1
+    return collisions / (n * (n - 1) / 2)

@@ -1,0 +1,316 @@
+"""Campaign engine: determinism, checkpoint resume, seed-tree independence."""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.campaign import (
+    Campaign,
+    MetricSummary,
+    replication_seed,
+    seed_sequence_to_int,
+)
+from repro.experiments.coverage import build_coverage_campaign
+from repro.experiments.delay_vs_load import build_delay_campaign
+from repro.simulation.scenario import ScenarioConfig
+from repro.utils.stats import (
+    chi_square_uniformity_test,
+    ks_uniformity_test,
+    max_pairwise_correlation,
+    pearson_independence_test,
+    stream_collision_fraction,
+)
+
+
+def _toy_runner(params, seed):
+    """Cheap deterministic replication: statistics of 256 uniform draws."""
+    rng = np.random.default_rng(seed)
+    draws = rng.random(256)
+    return {
+        "mean_draw": float(draws.mean()) + float(params["offset"]),
+        "max_draw": float(draws.max()),
+    }
+
+
+_FAIL_COUNTER = {"calls": 0, "fail_after": None}
+
+
+def _failing_runner(params, seed):
+    """Toy runner that dies after a configured number of calls (kill test)."""
+    if (
+        _FAIL_COUNTER["fail_after"] is not None
+        and _FAIL_COUNTER["calls"] >= _FAIL_COUNTER["fail_after"]
+    ):
+        raise RuntimeError("simulated crash")
+    _FAIL_COUNTER["calls"] += 1
+    return _toy_runner(params, seed)
+
+
+def toy_campaign(replications=3, root_seed=123, seed_groups=None, runner=_toy_runner):
+    points = [{"offset": 0.0}, {"offset": 10.0}, {"offset": 20.0}]
+    return Campaign(
+        "toy",
+        runner,
+        points,
+        replications=replications,
+        root_seed=root_seed,
+        seed_groups=seed_groups,
+    )
+
+
+class TestSeedTree:
+    def test_leaves_are_deterministic_and_coordinate_addressed(self):
+        a = replication_seed(42, 3, 7)
+        b = replication_seed(42, 3, 7)
+        assert seed_sequence_to_int(a) == seed_sequence_to_int(b)
+        assert np.array_equal(
+            np.random.default_rng(a).random(16), np.random.default_rng(b).random(16)
+        )
+
+    def test_distinct_coordinates_distinct_streams(self):
+        ints = {
+            seed_sequence_to_int(replication_seed(42, g, r))
+            for g in range(20)
+            for r in range(20)
+        }
+        assert len(ints) == 400  # no collisions over the 20x20 grid
+
+    def test_invalid_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            replication_seed(0, -1, 0)
+        with pytest.raises(ValueError):
+            replication_seed(0, 0, -1)
+
+    def test_replication_streams_pass_independence_battery(self):
+        # The statistical certificate of the determinism contract: streams
+        # from distinct seed-tree leaves behave like independent U(0,1)
+        # sources — no seed collisions, no cross-stream correlation.
+        n_streams, n_samples = 40, 512
+        leaves = [replication_seed(2024, g, r) for g in range(8) for r in range(5)]
+        streams = np.vstack(
+            [np.random.default_rng(leaf).random(n_samples) for leaf in leaves]
+        )
+        assert streams.shape == (n_streams, n_samples)
+
+        # 1. No two streams share even a short leading prefix.
+        assert stream_collision_fraction(streams, prefix=8) == 0.0
+
+        # 2. Worst pairwise correlation is at noise level (expected max |r|
+        #    over 780 pairs of 512 samples is ~0.16).
+        assert max_pairwise_correlation(streams) < 0.25
+
+        # 3. Each stream individually is uniform (Bonferroni-safe threshold).
+        for row in streams:
+            assert not ks_uniformity_test(row).rejects(alpha=1e-4 / n_streams)
+
+        # 4. The pooled sample is uniform across bins.
+        assert not chi_square_uniformity_test(streams.ravel(), bins=32).rejects(
+            alpha=1e-6
+        )
+
+        # 5. Spot-check pairs with the exact correlation test.
+        for i, j in [(0, 1), (0, 39), (17, 23), (5, 30)]:
+            assert not pearson_independence_test(streams[i], streams[j]).rejects(
+                alpha=1e-5
+            )
+
+    def test_battery_detects_violations(self):
+        rng = np.random.default_rng(0)
+        uniform = rng.random(2000)
+        skewed = uniform**3
+        assert ks_uniformity_test(skewed).rejects(alpha=1e-6)
+        assert chi_square_uniformity_test(skewed, bins=16).rejects(alpha=1e-6)
+        noisy_copy = uniform + 0.01 * rng.standard_normal(2000)
+        assert pearson_independence_test(uniform, noisy_copy).rejects(alpha=1e-6)
+        colliding = np.vstack([uniform[:64], uniform[:64], rng.random(64)])
+        assert stream_collision_fraction(colliding) == pytest.approx(1.0 / 3.0)
+
+
+class TestMetricSummary:
+    def test_known_values(self):
+        summary = MetricSummary.from_samples([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.min == 1.0 and summary.max == 3.0
+        # t(0.975, df=2) * sem = 4.302653 / sqrt(3)
+        assert summary.ci_half_width == pytest.approx(
+            4.302652729911275 / math.sqrt(3.0), rel=1e-9
+        )
+
+    def test_empty_and_single(self):
+        empty = MetricSummary.from_samples([])
+        assert empty.count == 0 and math.isnan(empty.mean)
+        single = MetricSummary.from_samples([5.0])
+        assert single.count == 1
+        assert single.ci_half_width == 0.0
+
+    def test_nan_samples_excluded(self):
+        summary = MetricSummary.from_samples([1.0, math.nan, 3.0])
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)
+
+
+class TestCampaignDeterminism:
+    def test_workers_do_not_change_results(self):
+        results = {}
+        for workers in (1, 4):
+            outcome = toy_campaign().run(workers=workers)
+            results[workers] = [
+                (point.index, sorted(point.replications.items()))
+                for point in outcome.points
+            ]
+        assert results[1] == results[4]  # bit-identical, not approximately
+
+    def test_replications_are_distinct_but_reproducible(self):
+        outcome = toy_campaign().run()
+        point = outcome.points[0]
+        draws = [point.replications[r]["mean_draw"] for r in sorted(point.replications)]
+        assert len(set(draws)) == len(draws)
+        again = toy_campaign().run()
+        assert again.points[0].replications == point.replications
+
+    def test_seed_groups_share_streams(self):
+        # Common-random-numbers: points in one seed group replay the same
+        # draws, so their metrics differ exactly by the configured offset.
+        outcome = toy_campaign(seed_groups=[0, 0, 1]).run()
+        a, b, c = outcome.points
+        for rep in range(outcome.replications):
+            assert b.replications[rep]["mean_draw"] - a.replications[rep][
+                "mean_draw"
+            ] == pytest.approx(10.0, abs=1e-12)
+            assert b.replications[rep]["max_draw"] == a.replications[rep]["max_draw"]
+            assert c.replications[rep]["max_draw"] != a.replications[rep]["max_draw"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Campaign("x", _toy_runner, [])
+        with pytest.raises(ValueError):
+            Campaign("x", _toy_runner, [{"offset": 0.0}], replications=0)
+        with pytest.raises(ValueError):
+            Campaign("x", _toy_runner, [{"offset": 0.0}], seed_groups=[0, 1])
+        with pytest.raises(ValueError):
+            toy_campaign().run(workers=0)
+
+
+class TestCheckpointResume:
+    def test_killed_campaign_resumes_without_recompute(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        clean = toy_campaign().run()
+
+        _FAIL_COUNTER.update(calls=0, fail_after=4)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            toy_campaign(runner=_failing_runner).run(workers=1, checkpoint_path=path)
+        with open(path) as handle:
+            assert len(json.load(handle)["completed"]) == 4
+
+        _FAIL_COUNTER.update(calls=0, fail_after=None)
+        resumed = toy_campaign(runner=_failing_runner).run(
+            workers=1, checkpoint_path=path
+        )
+        # Only the 5 missing replications ran on resume...
+        assert _FAIL_COUNTER["calls"] == 5
+        assert resumed.reused_replications == 4
+        # ...and the merged outcome is bit-identical to an uninterrupted run.
+        assert [p.replications for p in resumed.points] == [
+            p.replications for p in clean.points
+        ]
+
+    def test_finished_checkpoint_reruns_nothing(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        toy_campaign().run(workers=1, checkpoint_path=path)
+        _FAIL_COUNTER.update(calls=0, fail_after=0)  # any call would raise
+        outcome = toy_campaign(runner=_failing_runner).run(
+            workers=1, checkpoint_path=path
+        )
+        assert outcome.reused_replications == 9
+        assert outcome.completed_replications == 9
+
+    def test_mismatched_checkpoint_refused(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        toy_campaign(root_seed=1).run(workers=1, checkpoint_path=path)
+        with pytest.raises(ValueError, match="different campaign"):
+            toy_campaign(root_seed=2).run(workers=1, checkpoint_path=path)
+
+    def test_fingerprint_stable_for_callable_specs(self):
+        # A restarted process rebuilds factory objects at new addresses; the
+        # fingerprint must depend on their qualified name, not their repr,
+        # or checkpoints with callable scheduler specs become unresumable.
+        def build():
+            def factory():
+                return None
+
+            return Campaign(
+                "x", _toy_runner, [{"offset": 0.0, "scheduler_spec": factory}]
+            )
+
+        first = build()
+        second = build()
+        assert first.points[0]["scheduler_spec"] is not second.points[0][
+            "scheduler_spec"
+        ]
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_checkpoint_is_atomic_json(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        toy_campaign().run(workers=1, checkpoint_path=path)
+        assert not os.path.exists(path + ".tmp")
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["campaign"] == "toy"
+        assert payload["root_seed"] == 123
+        assert len(payload["completed"]) == 9
+
+
+class TestExperimentCampaigns:
+    """The ported paper experiments on the engine (tiny configurations)."""
+
+    def test_coverage_campaign_worker_parity(self):
+        def aggregates(workers):
+            campaign = build_coverage_campaign(
+                loads=[2],
+                num_drops=2,
+                config=SystemConfig.small_test_system(),
+                scheduler_factories={"JABA-SD(J1)": "JABA-SD(J1)", "FCFS": "FCFS"},
+                num_replications=2,
+                seed=11,
+            )
+            outcome = campaign.run(workers=workers)
+            return [sorted(p.replications.items()) for p in outcome.points]
+
+        assert aggregates(1) == aggregates(4)
+
+    def test_dynamic_campaign_worker_parity(self):
+        def aggregates(workers):
+            campaign = build_delay_campaign(
+                loads=[2],
+                scenario=ScenarioConfig.fast_test(),
+                scheduler_factories={"FCFS": "FCFS"},
+                num_seeds=2,
+            )
+            outcome = campaign.run(workers=workers)
+            return [sorted(p.replications.items()) for p in outcome.points]
+
+        assert aggregates(1) == aggregates(2)
+
+    def test_coverage_scheduler_points_share_drops(self):
+        # Paired comparisons: at one load every scheduler sees the same
+        # drops, so per-drop outage (scheduler-independent) must agree.
+        campaign = build_coverage_campaign(
+            loads=[2],
+            num_drops=2,
+            config=SystemConfig.small_test_system(),
+            scheduler_factories={"JABA-SD(J1)": "JABA-SD(J1)", "FCFS": "FCFS"},
+            num_replications=2,
+            seed=11,
+        )
+        outcome = campaign.run()
+        jaba, fcfs = outcome.points
+        for rep in range(2):
+            assert jaba.replications[rep]["fch_outage"] == pytest.approx(
+                fcfs.replications[rep]["fch_outage"], abs=1e-12
+            )

@@ -24,6 +24,7 @@ class TestExamples:
             "adaptive_phy_demo.py",
             "multicell_dynamic_simulation.py",
             "scheduler_comparison.py",
+            "campaign_coverage_sweep.py",
         }
         present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert expected.issubset(present)
@@ -46,7 +47,11 @@ class TestExamples:
     def test_dynamic_examples_importable(self):
         # The long-running examples are only imported (their main() is covered
         # by the dynamic-simulation integration tests at reduced scale).
-        for name in ("multicell_dynamic_simulation.py", "scheduler_comparison.py"):
+        for name in (
+            "multicell_dynamic_simulation.py",
+            "scheduler_comparison.py",
+            "campaign_coverage_sweep.py",
+        ):
             module = _load_example(name)
             assert hasattr(module, "main")
 
