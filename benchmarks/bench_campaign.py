@@ -132,6 +132,66 @@ def run_coverage_scaling(
 
 
 # --------------------------------------------------------------------------
+# resilient-executor no-fault overhead
+# --------------------------------------------------------------------------
+#: Regression budget: the fault-tolerance machinery (per-task tickets,
+#: timeout polling, straggler bookkeeping) may cost at most this fraction of
+#: extra wall-clock over the plain pool on a fault-free workload.
+MAX_RESILIENT_OVERHEAD_FRACTION = 0.05
+
+
+def run_resilient_overhead(smoke: bool, replications: int) -> Dict:
+    """Time the same fault-free coverage sweep under pool vs. resilient.
+
+    Best-of-``repeats`` timing per back-end (the workload is identical, so
+    the minimum is the least-noise estimate on a shared CI box), plus a
+    bit-identical aggregate parity check between the two back-ends.
+    """
+    from repro.experiments.executors import PoolExecutor, ResilientExecutor
+
+    workers = 2
+    repeats = 3 if smoke else 2
+    # The smoke grid at 1 replication finishes in milliseconds; give the
+    # overhead measurement enough tasks to mean something.
+    replications = max(replications, 3) if smoke else replications
+    timings: Dict[str, float] = {}
+    aggregates: Dict[str, List] = {}
+    for name in ("pool", "resilient"):
+        best = float("inf")
+        for _ in range(repeats):
+            campaign = coverage_campaign(smoke, replications)
+            executor = (
+                PoolExecutor(workers=workers)
+                if name == "pool"
+                else ResilientExecutor(workers=workers)
+            )
+            started = time.perf_counter()
+            outcome = campaign.run(workers=workers, executor=executor)
+            best = min(best, time.perf_counter() - started)
+        timings[name] = best
+        aggregates[name] = [
+            sorted(point.replications.items()) for point in outcome.points
+        ]
+        print(f"no-fault overhead, executor={name}: best of {repeats} = {best:.3f} s")
+    overhead = timings["resilient"] / timings["pool"] - 1.0
+    parity = aggregates["pool"] == aggregates["resilient"]
+    print(
+        f"resilient no-fault overhead: {overhead * 100:+.2f}% "
+        f"(budget {MAX_RESILIENT_OVERHEAD_FRACTION * 100:.0f}%), parity: {parity}"
+    )
+    return {
+        "workers": workers,
+        "repeats": repeats,
+        "replications_per_point": replications,
+        "pool_elapsed_s": round(timings["pool"], 4),
+        "resilient_elapsed_s": round(timings["resilient"], 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_RESILIENT_OVERHEAD_FRACTION,
+        "parity_bit_identical": parity,
+    }
+
+
+# --------------------------------------------------------------------------
 # J = 1e5 fleet-path campaign point
 # --------------------------------------------------------------------------
 def fleet_point_replication(params: Mapping[str, object], seed) -> dict:
@@ -229,6 +289,7 @@ def main(argv=None) -> int:
         "coverage_scaling": run_coverage_scaling(
             worker_counts, args.smoke, replications
         ),
+        "resilient_overhead": run_resilient_overhead(args.smoke, replications),
     }
     if not args.skip_fleet and not args.smoke:
         report["fleet_point"] = run_fleet_point(

@@ -1,0 +1,106 @@
+"""CI chaos smoke: injected faults must not change campaign aggregates.
+
+Runs the smoke-scale F4 coverage grid twice:
+
+1. fault-free under ``SerialExecutor`` (the reference aggregates);
+2. under ``ResilientExecutor`` with a :class:`FaultPlan` injecting one worker
+   crash (``os._exit``) and one long delay that trips the task timeout.
+
+The determinism contract of the campaign seed tree (a replication's metrics
+are a pure function of its ``(point, replication)`` coordinates) means the
+chaotic run must complete with **bit-identical** aggregates and zero
+quarantined replications; any divergence or residual failure fails CI.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.experiments.coverage import build_coverage_campaign  # noqa: E402
+from repro.experiments.executors import ResilientExecutor  # noqa: E402
+from repro.experiments.faults import FaultPlan, FaultSpec  # noqa: E402
+
+
+def build_campaign():
+    return build_coverage_campaign(
+        loads=[2, 3],
+        num_drops=1,
+        config=SystemConfig.small_test_system(),
+        scheduler_factories={"JABA-SD(J1)": "JABA-SD(J1)", "FCFS": "FCFS"},
+        num_replications=2,
+        seed=17,
+    )
+
+
+def main() -> int:
+    reference = build_campaign().run()
+    expected = [sorted(point.replications.items()) for point in reference.points]
+
+    with tempfile.TemporaryDirectory() as token_dir:
+        plan = FaultPlan(
+            [
+                # One worker dies without unwinding on its first attempt...
+                FaultSpec(point_index=0, replication=0, kind="crash"),
+                # ...and one replication hangs past the task timeout once.
+                FaultSpec(point_index=3, replication=1, kind="delay", delay_s=30.0),
+            ],
+            token_dir=token_dir,
+        )
+        executor = ResilientExecutor(
+            workers=2,
+            task_timeout_s=5.0,
+            max_retries=3,
+            backoff_base_s=0.1,
+            # Speculative re-issue could beat the timeout to the delayed task;
+            # disable it so this smoke deterministically exercises the
+            # kill-and-re-issue path.
+            straggler_min_completions=10_000,
+        )
+        chaotic = build_campaign().run(executor=executor, fault_plan=plan)
+
+    observed = [sorted(point.replications.items()) for point in chaotic.points]
+    stats = chaotic.executor_stats
+    print(f"executor stats: {stats}")
+
+    failures = []
+    if chaotic.failed_replications:
+        failures.append(
+            f"{chaotic.failed_replications} replication(s) were quarantined: "
+            f"{[point.failures for point in chaotic.degraded_points()]}"
+        )
+    if chaotic.completed_replications != reference.completed_replications:
+        failures.append(
+            f"chaotic run completed {chaotic.completed_replications} of "
+            f"{reference.completed_replications} replications"
+        )
+    if observed != expected:
+        failures.append("chaotic aggregates diverge from the fault-free serial run")
+    if stats.get("worker_crashes", 0) < 1:
+        failures.append("the injected crash never fired (fault plan inert?)")
+    if stats.get("timeouts", 0) < 1:
+        failures.append("the injected delay never tripped the task timeout")
+
+    if failures:
+        print("chaos smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "chaos smoke passed: crash + timeout injected, campaign completed, "
+        "aggregates bit-identical to the fault-free serial run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,10 +35,17 @@ from repro.experiments.campaign import (
 from repro.experiments.common import (
     ExperimentResult,
     default_scheduler_factories,
+    flag_degraded,
     paper_scenario,
     paper_traffic,
     scheduler_from_spec,
 )
+from repro.experiments.executors import (
+    PoolExecutor,
+    ResilientExecutor,
+    SerialExecutor,
+)
+from repro.experiments.faults import FaultPlan, FaultSpec
 from repro.experiments.phy_throughput import run_phy_throughput
 from repro.experiments.delay_vs_load import run_delay_vs_load, run_admission_statistics
 from repro.experiments.capacity import run_capacity
@@ -55,6 +62,12 @@ __all__ = [
     "seed_sequence_to_int",
     "scheduler_from_spec",
     "ExperimentResult",
+    "flag_degraded",
+    "SerialExecutor",
+    "PoolExecutor",
+    "ResilientExecutor",
+    "FaultPlan",
+    "FaultSpec",
     "default_scheduler_factories",
     "paper_scenario",
     "paper_traffic",

@@ -13,12 +13,27 @@ production-scale estimator:
   ``SeedSequence(entropy=s, spawn_key=(point, replication))``, so the stream
   a replication sees depends only on its coordinates — never on execution
   order, worker count or process identity;
-* replications are sharded across a :mod:`multiprocessing` pool
-  (``workers=1`` falls back to plain in-process execution); because of the
-  seed-tree contract the aggregated results are **bit-identical for any
-  worker count**;
+* execution is delegated to a pluggable **executor**
+  (:mod:`repro.experiments.executors`): in-process (``workers=1``), a
+  :mod:`multiprocessing` pool, or the fault-tolerant
+  :class:`~repro.experiments.executors.ResilientExecutor` with per-task
+  timeouts, retry/backoff, dead-worker respawn, speculative straggler
+  re-issue and poisoned-task quarantine; because of the seed-tree contract
+  the aggregated results are **bit-identical for any executor, worker count
+  and retry history** (a re-executed task recomputes exactly the same
+  bytes);
 * completed replications are checkpointed to JSON after every result, so a
-  killed campaign resumes without recomputing finished work;
+  killed campaign resumes without recomputing finished work; a corrupt
+  (e.g. mid-write-truncated) checkpoint is quarantined to ``<path>.corrupt``
+  instead of crashing the resume, and SIGINT/SIGTERM flush a final
+  checkpoint and terminate the workers promptly;
+* quarantined (permanently failing) replications degrade only their grid
+  point: the failure count is carried on :class:`PointResult` /
+  :class:`MetricSummary` and the experiment reducers flag the degraded
+  cells, the campaign itself completes;
+* a seeded chaos harness (:mod:`repro.experiments.faults`) injects worker
+  crashes, runner exceptions and delays at chosen ``(point, replication)``
+  coordinates so the fault-tolerance layer is provable, not assumed;
 * per-point aggregation (mean / CI half-width / extremes) goes through
   :mod:`repro.utils.stats`, and the same module's hypothesis-test battery
   certifies that the seed tree produces independent streams.
@@ -36,12 +51,22 @@ import hashlib
 import json
 import math
 import os
+import signal
+import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.experiments.executors import (
+    Executor,
+    PoolExecutor,
+    ResilientExecutor,
+    SerialExecutor,
+    TaskSpec,
+)
 from repro.utils.stats import confidence_interval
 
 __all__ = [
@@ -53,6 +78,11 @@ __all__ = [
     "Campaign",
     "main",
 ]
+
+#: An executor may be passed as an instance or by name (``"serial"``,
+#: ``"pool"``, ``"resilient"``); names are resolved against the campaign's
+#: ``workers`` argument at run time.
+ExecutorSpec = Union[str, Executor]
 
 MetricDict = Dict[str, float]
 Runner = Callable[[Mapping[str, object], np.random.SeedSequence], MetricDict]
@@ -97,7 +127,13 @@ def seed_sequence_to_int(sequence: np.random.SeedSequence) -> int:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class MetricSummary:
-    """Aggregate of one metric over the replications of one point."""
+    """Aggregate of one metric over the replications of one point.
+
+    ``failed`` counts replications of the point that were quarantined by a
+    fault-tolerant executor and therefore contribute no sample — a non-zero
+    value marks a *degraded* cell whose mean/CI rest on fewer replications
+    than the campaign requested.
+    """
 
     count: int
     mean: float
@@ -105,16 +141,19 @@ class MetricSummary:
     std: float
     min: float
     max: float
+    failed: int = 0
 
     @classmethod
     def from_samples(
-        cls, samples: Sequence[float], confidence: float = 0.95
+        cls, samples: Sequence[float], confidence: float = 0.95, failed: int = 0
     ) -> "MetricSummary":
         """Summarise ``samples`` with a Student-t confidence interval."""
         arr = np.asarray(list(samples), dtype=float)
         finite = arr[np.isfinite(arr)]
         if finite.size == 0:
-            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+            return cls(
+                0, math.nan, math.nan, math.nan, math.nan, math.nan, failed=failed
+            )
         mean, half = confidence_interval(finite, confidence)
         std = float(finite.std(ddof=1)) if finite.size > 1 else 0.0
         return cls(
@@ -124,16 +163,24 @@ class MetricSummary:
             std=std,
             min=float(finite.min()),
             max=float(finite.max()),
+            failed=failed,
         )
 
 
 @dataclass
 class PointResult:
-    """All replications of one grid point, keyed by replication index."""
+    """All replications of one grid point, keyed by replication index.
+
+    ``failures`` maps the replication indices that a fault-tolerant executor
+    quarantined (exhausted retries) to the last failure reason; those
+    replications are absent from ``replications`` and the point's summaries
+    are computed over the survivors only.
+    """
 
     index: int
     params: Dict[str, object]
     replications: Dict[int, MetricDict] = field(default_factory=dict)
+    failures: Dict[int, str] = field(default_factory=dict)
 
     def metric_names(self) -> List[str]:
         """Union of metric names over the replications, insertion-ordered."""
@@ -154,14 +201,22 @@ class PointResult:
     def summary(self, confidence: float = 0.95) -> Dict[str, MetricSummary]:
         """Per-metric aggregate over the replications."""
         return {
-            name: MetricSummary.from_samples(self.samples(name), confidence)
+            name: MetricSummary.from_samples(
+                self.samples(name), confidence, failed=len(self.failures)
+            )
             for name in self.metric_names()
         }
 
 
 @dataclass
 class CampaignResult:
-    """Outcome of a campaign run."""
+    """Outcome of a campaign run.
+
+    ``executor_name`` / ``executor_stats`` record which back-end executed the
+    run and its fault-tolerance accounting (retries, timeouts, respawns,
+    speculative re-issues, quarantines — all zero for the serial and pool
+    executors).
+    """
 
     name: str
     root_seed: int
@@ -169,11 +224,22 @@ class CampaignResult:
     points: List[PointResult]
     reused_replications: int = 0
     elapsed_s: float = 0.0
+    executor_name: str = "serial"
+    executor_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def completed_replications(self) -> int:
         """Total number of completed replications across all points."""
         return sum(len(p.replications) for p in self.points)
+
+    @property
+    def failed_replications(self) -> int:
+        """Total number of quarantined replications across all points."""
+        return sum(len(p.failures) for p in self.points)
+
+    def degraded_points(self) -> List[PointResult]:
+        """Points that lost at least one replication to quarantine."""
+        return [point for point in self.points if point.failures]
 
     def summaries(self, confidence: float = 0.95) -> List[Dict[str, MetricSummary]]:
         """Per-point summaries in grid order."""
@@ -183,14 +249,21 @@ class CampaignResult:
 # ---------------------------------------------------------------------------
 # Worker entry point (module level so it pickles by reference)
 # ---------------------------------------------------------------------------
-def _execute_task(
-    payload: Tuple[Runner, Mapping[str, object], int, int, int, int],
-) -> Tuple[int, int, MetricDict]:
-    runner, params, root_seed, point_index, replication, seed_group = payload
+def _execute_task(payload) -> MetricDict:
+    """Run one replication; the executing process may be anywhere.
+
+    ``payload`` is ``(runner, params, root_seed, point_index, replication,
+    seed_group, fault_plan)``.  The optional fault plan fires *before* the
+    runner, so an injected fault can fail or delay the attempt but can never
+    alter the metrics of a successful one — which is what makes chaos runs
+    bit-identical to clean ones.
+    """
+    runner, params, root_seed, point_index, replication, seed_group, plan = payload
+    if plan is not None:
+        plan.apply(point_index, replication)
     seed = replication_seed(root_seed, seed_group, replication)
     metrics = runner(params, seed)
-    clean = {str(key): float(value) for key, value in metrics.items()}
-    return point_index, replication, clean
+    return {str(key): float(value) for key, value in metrics.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -291,8 +364,24 @@ class Campaign:
     def _load_checkpoint(self, path: str) -> Dict[str, MetricDict]:
         if not os.path.exists(path):
             return {}
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint root is not a JSON object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            # A checkpoint truncated by a crash mid-write (or otherwise
+            # mangled) must not kill the resume: quarantine the file for
+            # post-mortem and recompute from scratch.
+            quarantine = f"{path}.corrupt"
+            os.replace(path, quarantine)
+            warnings.warn(
+                f"checkpoint {path!r} is corrupt ({exc}); moved it to "
+                f"{quarantine!r} and starting fresh",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {}
         if payload.get("fingerprint") != self.fingerprint():
             raise ValueError(
                 f"checkpoint {path!r} was written by a different campaign "
@@ -325,11 +414,32 @@ class Campaign:
             for replication in range(self.replications)
         ]
 
+    def _resolve_executor(
+        self, executor: Optional[ExecutorSpec], workers: int
+    ) -> Executor:
+        """Turn an executor spec (name, instance or ``None``) into an instance."""
+        if executor is None:
+            return SerialExecutor() if workers == 1 else PoolExecutor(workers)
+        if isinstance(executor, str):
+            if executor == "serial":
+                return SerialExecutor()
+            if executor == "pool":
+                return PoolExecutor(max(workers, 1))
+            if executor == "resilient":
+                return ResilientExecutor(workers=max(workers, 1))
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'serial', 'pool', "
+                f"'resilient' or an Executor instance"
+            )
+        return executor
+
     def run(
         self,
         workers: int = 1,
         checkpoint_path: Optional[str] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        executor: Optional[ExecutorSpec] = None,
+        fault_plan=None,
     ) -> CampaignResult:
         """Execute the campaign and aggregate the results.
 
@@ -342,12 +452,29 @@ class Campaign:
         checkpoint_path:
             JSON file updated after every completed replication; an existing
             checkpoint of the same campaign is resumed (completed
-            replications are loaded, not recomputed).
+            replications are loaded, not recomputed) and a corrupt one is
+            quarantined to ``<path>.corrupt`` instead of crashing.
         progress:
             Optional ``progress(done, total)`` callback.
+        executor:
+            Execution back-end: an :class:`~repro.experiments.executors.
+            Executor` instance or one of the names ``"serial"``, ``"pool"``,
+            ``"resilient"``.  ``None`` keeps the historic behaviour
+            (in-process at ``workers=1``, pool above).  All executors produce
+            bit-identical aggregates; only the resilient one survives worker
+            crashes, hangs and poisoned tasks.
+        fault_plan:
+            Optional :class:`~repro.experiments.faults.FaultPlan` injected
+            into the task payloads (chaos testing).
+
+        A SIGINT/SIGTERM received while running flushes a final checkpoint,
+        terminates the workers promptly and re-raises ``KeyboardInterrupt``,
+        so a checkpointed campaign killed from the outside loses no completed
+        replication and leaves no orphan processes.
         """
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        backend = self._resolve_executor(executor, workers)
         started = time.perf_counter()
         # Hashing the whole grid is O(points); do it once per run, not once
         # per checkpoint write.
@@ -357,49 +484,72 @@ class Campaign:
             completed = self._load_checkpoint(checkpoint_path)
         reused = len(completed)
 
-        pending = [
-            (point_index, replication)
-            for point_index, replication in self.tasks()
-            if f"{point_index}/{replication}" not in completed
+        tasks = [
+            TaskSpec(
+                point_index=pi,
+                replication=rep,
+                payload=(
+                    self.runner,
+                    self.points[pi],
+                    self.root_seed,
+                    pi,
+                    rep,
+                    self.seed_groups[pi],
+                    fault_plan,
+                ),
+            )
+            for pi, rep in self.tasks()
+            if f"{pi}/{rep}" not in completed
         ]
         total = len(self.points) * self.replications
-        done = total - len(pending)
+        done = total - len(tasks)
+        failed: Dict[str, str] = {}
 
-        def store(point_index: int, replication: int, metrics: MetricDict) -> None:
+        def store(key: str, metrics: MetricDict) -> None:
             nonlocal done
-            completed[f"{point_index}/{replication}"] = metrics
+            completed[key] = metrics
             done += 1
             if checkpoint_path:
                 self._write_checkpoint(checkpoint_path, completed, fingerprint)
             if progress is not None:
                 progress(done, total)
 
-        if workers == 1 or not pending:
-            for point_index, replication in pending:
-                seed = replication_seed(
-                    self.root_seed, self.seed_groups[point_index], replication
-                )
-                metrics = self.runner(self.points[point_index], seed)
-                store(
-                    point_index,
-                    replication,
-                    {str(k): float(v) for k, v in metrics.items()},
-                )
-        else:
-            import multiprocessing as mp
+        owner_pid = os.getpid()
 
-            method = "fork" if "fork" in mp.get_all_start_methods() else None
-            ctx = mp.get_context(method)
-            payloads = [
-                (self.runner, self.points[pi], self.root_seed, pi, rep,
-                 self.seed_groups[pi])
-                for pi, rep in pending
-            ]
-            with ctx.Pool(processes=workers) as pool:
-                for point_index, replication, metrics in pool.imap_unordered(
-                    _execute_task, payloads, chunksize=1
-                ):
-                    store(point_index, replication, metrics)
+        def raise_interrupt(signum, frame):  # pragma: no cover - signal path
+            # Forked workers inherit this handler; in them the signal must
+            # keep its default meaning (die quietly), not unwind the worker
+            # loop with a spurious traceback.
+            if os.getpid() != owner_pid:
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+                return
+            raise KeyboardInterrupt(f"campaign interrupted by signal {signum}")
+
+        previous_handlers = {}
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[signum] = signal.signal(signum, raise_interrupt)
+                except (ValueError, OSError):  # pragma: no cover - exotic host
+                    pass
+        try:
+            for outcome in backend.run(_execute_task, tasks):
+                if outcome.metrics is not None:
+                    store(outcome.task.key, outcome.metrics)
+                else:
+                    failed[outcome.task.key] = outcome.error or "unknown failure"
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+            # Prompt worker teardown (idempotent; crucial on the interrupt
+            # path, where the executor's generator may be left suspended).
+            backend.stop()
+            if checkpoint_path and completed:
+                # Completed work is checkpointed per result already; this
+                # final flush only guards against a write interrupted at the
+                # exact moment a signal arrived.
+                self._write_checkpoint(checkpoint_path, completed, fingerprint)
 
         points = [
             PointResult(index=index, params=dict(params))
@@ -408,6 +558,9 @@ class Campaign:
         for key, metrics in completed.items():
             point_index, replication = (int(part) for part in key.split("/"))
             points[point_index].replications[replication] = metrics
+        for key, reason in failed.items():
+            point_index, replication = (int(part) for part in key.split("/"))
+            points[point_index].failures[replication] = reason
         return CampaignResult(
             name=self.name,
             root_seed=self.root_seed,
@@ -415,6 +568,8 @@ class Campaign:
             points=points,
             reused_replications=reused,
             elapsed_s=time.perf_counter() - started,
+            executor_name=backend.name,
+            executor_stats=backend.stats.as_dict(),
         )
 
 
@@ -456,6 +611,18 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="seed-tree root (default: the experiment default)")
     parser.add_argument("--checkpoint", default=None,
                         help="JSON checkpoint path (resumes if it exists)")
+    parser.add_argument("--executor", choices=["serial", "pool", "resilient"],
+                        default=None,
+                        help="execution back-end (default: serial at "
+                             "--workers 1, pool above; 'resilient' adds "
+                             "retries, timeouts and straggler re-issue)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="resilient executor only: seconds before a "
+                             "replication is killed and re-issued")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="resilient executor only: failed attempts "
+                             "re-issued before a task is quarantined "
+                             "(default 2)")
     args = parser.parse_args(argv)
 
     # Flags that a given experiment would silently drop are rejected instead.
@@ -466,6 +633,18 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
             "--loads/--schedulers do not apply to --experiment objectives "
             "(it sweeps the J2 delay-penalty weight at one load)"
         )
+    if args.task_timeout is not None and args.executor != "resilient":
+        parser.error("--task-timeout requires --executor resilient")
+
+    executor = None
+    if args.executor == "resilient":
+        executor = ResilientExecutor(
+            workers=max(args.workers, 1),
+            task_timeout_s=args.task_timeout,
+            max_retries=args.max_retries,
+        )
+    elif args.executor is not None:
+        executor = args.executor
 
     from repro.experiments.capacity import run_capacity
     from repro.experiments.common import paper_scenario
@@ -476,7 +655,9 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     factories = None
     if args.schedulers:
         factories = {label: label for label in args.schedulers}
-    common = dict(workers=args.workers, checkpoint_path=args.checkpoint)
+    common = dict(
+        workers=args.workers, checkpoint_path=args.checkpoint, executor=executor
+    )
     if args.experiment == "coverage":
         kwargs = dict(
             loads=args.loads,

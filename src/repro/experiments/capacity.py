@@ -22,7 +22,7 @@ import math
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.experiments.campaign import CampaignResult
-from repro.experiments.common import ExperimentResult, SchedulerSpec
+from repro.experiments.common import ExperimentResult, SchedulerSpec, flag_degraded
 from repro.experiments.delay_vs_load import build_delay_campaign
 from repro.simulation.scenario import ScenarioConfig
 
@@ -74,7 +74,7 @@ def reduce_capacity(
         "delay@<load> / delay_ci@<load> columns record the probes (mean and "
         "95% CI half-width over n_seeds replications) used for the estimate."
     )
-    return result
+    return flag_degraded(result, campaign_result)
 
 
 def run_capacity(
@@ -85,6 +85,7 @@ def run_capacity(
     num_seeds: int = 1,
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
+    executor=None,
 ) -> ExperimentResult:
     """Estimate the per-cell data-user capacity of every scheduler.
 
@@ -94,7 +95,8 @@ def run_capacity(
         Mean packet-call delay that still counts as acceptable service.
     loads:
         Increasing data-user populations probed (default 6, 12, 18, 24, 30).
-    scenario / scheduler_factories / num_seeds / workers / checkpoint_path:
+    scenario / scheduler_factories / num_seeds / workers / checkpoint_path /
+    executor:
         As in :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
     """
     if delay_target_s <= 0.0:
@@ -107,7 +109,9 @@ def run_capacity(
         num_seeds=num_seeds,
     )
     campaign.name = "T1-capacity"
-    outcome = campaign.run(workers=workers, checkpoint_path=checkpoint_path)
+    outcome = campaign.run(
+        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+    )
     return reduce_capacity(outcome, delay_target_s)
 
 

@@ -17,6 +17,7 @@ from repro.utils.tables import format_records
 
 __all__ = [
     "ExperimentResult",
+    "flag_degraded",
     "default_scheduler_factories",
     "scheduler_from_spec",
     "paper_traffic",
@@ -64,6 +65,33 @@ class ExperimentResult:
             if all(record.get(key) == value for key, value in criteria.items()):
                 out.append(record)
         return out
+
+
+def flag_degraded(result: ExperimentResult, campaign_result) -> ExperimentResult:
+    """Mark a table built from a campaign that quarantined replications.
+
+    Under :class:`~repro.experiments.executors.ResilientExecutor` a poisoned
+    task degrades its grid point instead of killing the run; the reducers call
+    this so a degraded table can never masquerade as a clean one.  When the
+    table has one row per campaign point an ``n_failed`` column is added;
+    either way a DEGRADED note naming the affected points is appended.
+    """
+    failed = campaign_result.failed_replications
+    if not failed:
+        return result
+    if len(result.records) == len(campaign_result.points):
+        for record, point in zip(result.records, campaign_result.points):
+            record["n_failed"] = len(point.failures)
+    cells = ", ".join(
+        f"point {p.index} ({len(p.failures)} failed)"
+        for p in campaign_result.degraded_points()
+    )
+    note = (
+        f"DEGRADED: {failed} replication(s) exhausted their retry budget and "
+        f"were quarantined; affected cells average over fewer samples: {cells}."
+    )
+    result.notes = f"{result.notes}\n{note}" if result.notes else note
+    return result
 
 
 def default_scheduler_factories(

@@ -33,6 +33,7 @@ from repro.experiments.common import (
     ExperimentResult,
     SchedulerSpec,
     default_scheduler_factories,
+    flag_degraded,
     scheduler_from_spec,
 )
 from repro.mac.requests import LinkDirection
@@ -178,7 +179,7 @@ def reduce_coverage(campaign_result: CampaignResult, metadata: Mapping) -> Exper
         "over the n_reps seed replications.  At equal load JABA-SD is expected "
         "to keep the largest fraction of users above the minimum rate."
     )
-    return result
+    return flag_degraded(result, campaign_result)
 
 
 def run_coverage(
@@ -195,6 +196,7 @@ def run_coverage(
     num_replications: int = 1,
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
+    executor=None,
 ) -> ExperimentResult:
     """Coverage vs. data load (and optionally cell radius) per scheduler.
 
@@ -221,6 +223,10 @@ def run_coverage(
         bit-identical for any value.
     checkpoint_path:
         Optional JSON checkpoint enabling resume of interrupted sweeps.
+    executor:
+        Execution back-end override (``"serial"``, ``"pool"``, ``"resilient"``
+        or an :class:`~repro.experiments.executors.Executor` instance); the
+        default picks serial/pool from ``workers``.
     """
     campaign = build_coverage_campaign(
         loads=loads,
@@ -235,7 +241,9 @@ def run_coverage(
         seed=seed,
         num_replications=num_replications,
     )
-    outcome = campaign.run(workers=workers, checkpoint_path=checkpoint_path)
+    outcome = campaign.run(
+        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+    )
     return reduce_coverage(outcome, campaign.metadata)
 
 

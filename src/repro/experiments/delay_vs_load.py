@@ -38,6 +38,7 @@ from repro.experiments.common import (
     ExperimentResult,
     SchedulerSpec,
     default_scheduler_factories,
+    flag_degraded,
     paper_scenario,
     scheduler_from_spec,
 )
@@ -158,7 +159,7 @@ def reduce_delay(campaign_result: CampaignResult) -> ExperimentResult:
         "is the 95% CI half-width over the n_seeds replications.  Expected "
         "ordering beyond the knee: JABA-SD < EqualShare < FCFS."
     )
-    return result
+    return flag_degraded(result, campaign_result)
 
 
 def run_delay_vs_load(
@@ -168,6 +169,7 @@ def run_delay_vs_load(
     num_seeds: int = 1,
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
+    executor=None,
 ) -> ExperimentResult:
     """Sweep the data-user population and record per-link packet delays.
 
@@ -187,6 +189,9 @@ def run_delay_vs_load(
         Worker processes sharding the replications (bit-identical results).
     checkpoint_path:
         Optional JSON checkpoint enabling resume of interrupted sweeps.
+    executor:
+        Execution back-end override (``"serial"``, ``"pool"``, ``"resilient"``
+        or an :class:`~repro.experiments.executors.Executor` instance).
     """
     campaign = build_delay_campaign(
         loads=loads,
@@ -194,7 +199,9 @@ def run_delay_vs_load(
         scheduler_factories=scheduler_factories,
         num_seeds=num_seeds,
     )
-    outcome = campaign.run(workers=workers, checkpoint_path=checkpoint_path)
+    outcome = campaign.run(
+        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+    )
     return reduce_delay(outcome)
 
 
@@ -205,6 +212,7 @@ def run_admission_statistics(
     num_seeds: int = 1,
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
+    executor=None,
 ) -> ExperimentResult:
     """Experiment T2: admission statistics at one fixed (loaded) operating point."""
     sweep = run_delay_vs_load(
@@ -214,6 +222,7 @@ def run_admission_statistics(
         num_seeds=num_seeds,
         workers=workers,
         checkpoint_path=checkpoint_path,
+        executor=executor,
     )
     result = ExperimentResult(
         experiment_id="T2",

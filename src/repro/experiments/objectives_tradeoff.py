@@ -24,7 +24,7 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.experiments.campaign import Campaign, CampaignResult
-from repro.experiments.common import ExperimentResult, paper_scenario
+from repro.experiments.common import ExperimentResult, flag_degraded, paper_scenario
 from repro.experiments.delay_vs_load import dynamic_replication
 from repro.simulation.scenario import ScenarioConfig
 
@@ -104,7 +104,7 @@ def reduce_objectives(
         "lambda = 0 is exactly objective J1; larger lambda trades carried "
         "throughput for a shorter delay tail."
     )
-    return result
+    return flag_degraded(result, campaign_result)
 
 
 def run_objectives_tradeoff(
@@ -115,6 +115,7 @@ def run_objectives_tradeoff(
     num_seeds: int = 1,
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
+    executor=None,
 ) -> ExperimentResult:
     """Sweep the delay-penalty weight of objective J2 at a fixed (loaded) point.
 
@@ -126,7 +127,7 @@ def run_objectives_tradeoff(
         ``mu`` (``delay_forgetting_factor``) used for all non-zero points.
     load:
         Data users per cell (choose a point beyond the knee of F2).
-    num_seeds / workers / checkpoint_path:
+    num_seeds / workers / checkpoint_path / executor:
         Campaign controls, as in
         :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
     """
@@ -137,7 +138,9 @@ def run_objectives_tradeoff(
         scenario=scenario,
         num_seeds=num_seeds,
     )
-    outcome = campaign.run(workers=workers, checkpoint_path=checkpoint_path)
+    outcome = campaign.run(
+        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+    )
     return reduce_objectives(outcome, forgetting_factor, load)
 
 

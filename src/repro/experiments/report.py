@@ -32,22 +32,30 @@ from repro.experiments.solver_ablation import run_solver_ablation
 __all__ = ["full_report", "quick_report", "main"]
 
 
-def full_report(workers: int = 1) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
+def full_report(
+    workers: int = 1, executor=None
+) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
     """Run every experiment at the scale recorded in EXPERIMENTS.md."""
     return [
         run_phy_throughput(monte_carlo_samples=100_000),
-        run_delay_vs_load(loads=[6, 12, 18, 24], num_seeds=3, workers=workers),
-        run_admission_statistics(load=18, num_seeds=3, workers=workers),
-        run_capacity(loads=[6, 12, 18, 24, 30], num_seeds=2, workers=workers),
+        run_delay_vs_load(loads=[6, 12, 18, 24], num_seeds=3, workers=workers,
+                          executor=executor),
+        run_admission_statistics(load=18, num_seeds=3, workers=workers,
+                                 executor=executor),
+        run_capacity(loads=[6, 12, 18, 24, 30], num_seeds=2, workers=workers,
+                     executor=executor),
         run_coverage(loads=[4, 8, 16, 24], num_drops=10, num_replications=3,
-                     workers=workers),
-        run_objectives_tradeoff(load=18, num_seeds=2, workers=workers),
+                     workers=workers, executor=executor),
+        run_objectives_tradeoff(load=18, num_seeds=2, workers=workers,
+                                executor=executor),
         run_solver_ablation(request_counts=[2, 4, 8, 12, 16], instances_per_count=5),
         run_handoff_ablation(num_drops=25),
     ]
 
 
-def quick_report(workers: int = 1) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
+def quick_report(
+    workers: int = 1, executor=None
+) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
     """A reduced-size pass of every experiment (minutes instead of hours)."""
     from repro.experiments.common import paper_scenario
 
@@ -55,13 +63,14 @@ def quick_report(workers: int = 1) -> List[ExperimentResult]:  # pragma: no cove
     return [
         run_phy_throughput(),
         run_delay_vs_load(loads=[8, 16], scenario=small_scenario, num_seeds=2,
-                          workers=workers),
+                          workers=workers, executor=executor),
         run_capacity(loads=[8, 16], scenario=small_scenario, delay_target_s=1.0,
-                     workers=workers),
+                     workers=workers, executor=executor),
         run_coverage(loads=[8, 16], num_drops=3, num_replications=2,
-                     workers=workers),
+                     workers=workers, executor=executor),
         run_objectives_tradeoff(penalty_scales=[0.0, 2.0], load=16,
-                                scenario=small_scenario, workers=workers),
+                                scenario=small_scenario, workers=workers,
+                                executor=executor),
         run_solver_ablation(request_counts=[4, 8], instances_per_count=2),
         run_handoff_ablation(num_drops=6),
     ]
@@ -72,9 +81,18 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     parser.add_argument("--quick", action="store_true", help="reduced-size pass")
     parser.add_argument("--workers", type=int, default=1,
                         help="processes sharding the Monte-Carlo replications")
+    parser.add_argument("--executor", choices=["serial", "pool", "resilient"],
+                        default=None,
+                        help="campaign execution back-end ('resilient' adds "
+                             "retries, timeouts and straggler re-issue; "
+                             "degraded cells are flagged in the tables)")
     args = parser.parse_args(argv)
     started = time.time()
-    results = quick_report(args.workers) if args.quick else full_report(args.workers)
+    results = (
+        quick_report(args.workers, executor=args.executor)
+        if args.quick
+        else full_report(args.workers, executor=args.executor)
+    )
     for result in results:
         print(result.to_table())
         print()

@@ -50,6 +50,7 @@ from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
 from repro.opt import (
     BoundedIntegerProgram,
     IntegerSolution,
+    SimplexIterationLimitError,
     solve_branch_and_bound,
     solve_exhaustive,
     solve_greedy,
@@ -157,6 +158,19 @@ class JabaSdScheduler(BurstScheduler):
         }
 
     def _solve(self, ip: BoundedIntegerProgram, warm_values=None) -> IntegerSolution:
+        # LP-backed solvers can exhaust the simplex pivot budget on degenerate
+        # instances (SimplexIterationLimitError).  A scheduler must produce
+        # *some* admissible decision every frame, so that error degrades to
+        # the greedy solution — always feasible, merely sub-optimal — instead
+        # of aborting the whole simulation.
+        try:
+            return self._solve_with_backend(ip, warm_values)
+        except SimplexIterationLimitError:
+            return solve_greedy(ip, batched=self.batched)
+
+    def _solve_with_backend(
+        self, ip: BoundedIntegerProgram, warm_values=None
+    ) -> IntegerSolution:
         if self.solver == "greedy":
             return solve_greedy(ip, batched=self.batched)
         if self.solver == "exhaustive":

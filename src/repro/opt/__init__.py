@@ -21,6 +21,7 @@ from repro.opt.problem import BoundedIntegerProgram, IntegerSolution
 from repro.opt.exhaustive import solve_exhaustive
 from repro.opt.lp import (
     LpSolution,
+    SimplexIterationLimitError,
     SimplexScratch,
     simplex_lp,
     solve_children_lp,
@@ -37,6 +38,7 @@ __all__ = [
     "solve_children_lp",
     "simplex_lp",
     "LpSolution",
+    "SimplexIterationLimitError",
     "SimplexScratch",
     "solve_branch_and_bound",
     "solve_greedy",

@@ -140,13 +140,20 @@ def solve_near_optimal(
     scheduling instances it is empirically within a fraction of a percent of
     the exact optimum (experiment F6 quantifies the gap) at a small, bounded
     cost per frame — one LP plus two linear-time repair passes.
+
+    If the simplex exhausts its pivot budget
+    (:class:`~repro.opt.lp.SimplexIterationLimitError`) the LP leg is dropped
+    and the greedy solution — always feasible — is returned on its own.
     """
-    from repro.opt.lp import solve_lp_relaxation
+    from repro.opt.lp import SimplexIterationLimitError, solve_lp_relaxation
 
     greedy = solve_greedy(problem, batched=batched)
     if problem.num_variables == 0:
         return greedy
-    lp = solve_lp_relaxation(problem, use_scipy=False, batched=batched)
+    try:
+        lp = solve_lp_relaxation(problem, use_scipy=False, batched=batched)
+    except SimplexIterationLimitError:
+        return greedy
     if lp.status != "optimal":  # pragma: no cover - box relaxation is always feasible
         return greedy
     rounded = round_lp_solution(problem, lp.values, batched=batched)

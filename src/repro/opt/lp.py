@@ -35,11 +35,25 @@ from repro.opt.problem import BoundedIntegerProgram
 
 __all__ = [
     "LpSolution",
+    "SimplexIterationLimitError",
     "SimplexScratch",
     "solve_lp_relaxation",
     "solve_children_lp",
     "simplex_lp",
 ]
+
+
+class SimplexIterationLimitError(RuntimeError):
+    """The simplex pivot budget ran out before optimality was certified.
+
+    Both simplex paths bound their pivot loop at ``200 * (n + m)`` iterations
+    (a degenerate-cycling guard far above the typical pivot count for these
+    box-constrained relaxations).  Exhausting the budget means the tableau's
+    final basic solution is feasible but *not certified optimal*, so instead
+    of silently returning it the solver raises this error.  Callers that can
+    degrade gracefully — the JABA-SD scheduler's near-optimal mode — catch it
+    and fall back to the greedy solution, which is always feasible.
+    """
 
 
 @dataclass(frozen=True)
@@ -176,6 +190,7 @@ def simplex_lp(
     upper_bounds: np.ndarray,
     batched: bool = True,
     scratch: Optional[SimplexScratch] = None,
+    max_iterations: Optional[int] = None,
 ) -> LpSolution:
     """Dense Dantzig-rule simplex on the slack-form relaxation.
 
@@ -185,6 +200,10 @@ def simplex_lp(
     feasible starting point when ``b' >= 0``, which holds whenever the fixed
     lower bounds are themselves feasible.  If they are not, the sub-problem is
     reported infeasible (which is exactly what branch-and-bound needs).
+
+    ``max_iterations`` overrides the default ``200 * (n + m)`` pivot budget;
+    exhausting the budget raises :class:`SimplexIterationLimitError` rather
+    than returning an uncertified solution.
     """
     lo = np.asarray(lower_bounds, dtype=float)
     hi = np.asarray(upper_bounds, dtype=float)
@@ -192,12 +211,16 @@ def simplex_lp(
     if np.any(b < -1e-9):
         return LpSolution(values=lo, objective=-np.inf, status="infeasible")
     if batched:
-        return _simplex_batched(problem, lo, hi, b, scratch)
-    return _simplex_scalar(problem, lo, hi, b)
+        return _simplex_batched(problem, lo, hi, b, scratch, max_iterations)
+    return _simplex_scalar(problem, lo, hi, b, max_iterations)
 
 
 def _simplex_scalar(
-    problem: BoundedIntegerProgram, lo: np.ndarray, hi: np.ndarray, b: np.ndarray
+    problem: BoundedIntegerProgram,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    b: np.ndarray,
+    max_iterations: Optional[int] = None,
 ) -> LpSolution:
     """The original row-loop implementation (parity oracle)."""
     c = problem.objective
@@ -219,8 +242,8 @@ def _simplex_scalar(
     tableau[-1, :n] = -c  # maximise c'x  <=>  minimise -c'x
     basis = list(range(n, n + m))
 
-    max_iterations = 200 * (n + m)
-    for _ in range(max_iterations):
+    budget = 200 * (n + m) if max_iterations is None else max_iterations
+    for _ in range(budget):
         reduced = tableau[-1, :-1]
         pivot_col = int(np.argmin(reduced))
         if reduced[pivot_col] >= -1e-10:
@@ -237,6 +260,11 @@ def _simplex_scalar(
             if row != pivot_row and abs(tableau[row, pivot_col]) > 1e-14:
                 tableau[row, :] -= tableau[row, pivot_col] * tableau[pivot_row, :]
         basis[pivot_row] = pivot_col
+    else:
+        raise SimplexIterationLimitError(
+            f"simplex exhausted its {budget}-pivot budget without certifying "
+            f"optimality (n={n}, m={m})"
+        )
 
     x_shifted = np.zeros(n + m)
     for row, var in enumerate(basis):
@@ -253,6 +281,7 @@ def _simplex_batched(
     hi: np.ndarray,
     b: np.ndarray,
     scratch: Optional[SimplexScratch],
+    max_iterations: Optional[int] = None,
 ) -> LpSolution:
     """Vectorized pivot/ratio-test hot path (identical floats to the oracle).
 
@@ -276,9 +305,9 @@ def _simplex_batched(
     ratios = np.empty(m)
     mask = np.empty(m, dtype=bool)
     abs_factors = np.empty(m + 1)
-    max_iterations = 200 * (n + m)
+    budget = 200 * (n + m) if max_iterations is None else max_iterations
     with np.errstate(divide="ignore", invalid="ignore"):
-        for _ in range(max_iterations):
+        for _ in range(budget):
             pivot_col = int(reduced.argmin())
             if reduced[pivot_col] >= -1e-10:
                 break  # optimal
@@ -303,6 +332,11 @@ def _simplex_batched(
             if update.size:
                 tableau[update] -= tableau[update, pivot_col, None] * pivot_vals[None, :]
             basis[pivot_row] = pivot_col
+        else:
+            raise SimplexIterationLimitError(
+                f"simplex exhausted its {budget}-pivot budget without "
+                f"certifying optimality (n={n}, m={m})"
+            )
 
     x_shifted = np.zeros(n + m)
     x_shifted[basis] = rhs

@@ -3,6 +3,11 @@
 import json
 import math
 import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
 
 import numpy as np
 import pytest
@@ -264,6 +269,124 @@ class TestCheckpointResume:
         assert payload["campaign"] == "toy"
         assert payload["root_seed"] == 123
         assert len(payload["completed"]) == 9
+
+    def test_corrupt_checkpoint_quarantined_and_recomputed(self, tmp_path):
+        # A checkpoint truncated mid-write (crash during save) must not kill
+        # the resume: it is moved aside and the campaign recomputes cleanly.
+        path = str(tmp_path / "ckpt.json")
+        clean = toy_campaign().run(workers=1, checkpoint_path=path)
+        with open(path) as handle:
+            full = handle.read()
+        with open(path, "w") as handle:
+            handle.write(full[: len(full) // 2])
+
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            rerun = toy_campaign().run(workers=1, checkpoint_path=path)
+
+        assert os.path.exists(path + ".corrupt")
+        assert rerun.reused_replications == 0
+        assert rerun.completed_replications == 9
+        assert [p.replications for p in rerun.points] == [
+            p.replications for p in clean.points
+        ]
+        # The recomputed run rewrote a valid checkpoint in the original slot.
+        with open(path) as handle:
+            assert len(json.load(handle)["completed"]) == 9
+
+    def test_corrupt_checkpoint_warns_on_non_json_garbage(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        with open(path, "w") as handle:
+            handle.write("[1, 2, 3]")  # valid JSON, wrong shape
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            outcome = toy_campaign().run(workers=1, checkpoint_path=path)
+        assert outcome.completed_replications == 9
+        assert os.path.exists(path + ".corrupt")
+
+
+_SIGTERM_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.experiments.campaign import Campaign
+
+
+def slow_runner(params, seed):
+    time.sleep(1.0)
+    rng = np.random.default_rng(seed)
+    draws = rng.random(256)
+    return {{
+        "mean_draw": float(draws.mean()) + float(params["offset"]),
+        "max_draw": float(draws.max()),
+    }}
+
+
+points = [{{"offset": 0.0}}, {{"offset": 10.0}}, {{"offset": 20.0}}]
+campaign = Campaign("toy", slow_runner, points, replications=3, root_seed=123)
+campaign.run(workers=2, checkpoint_path={ckpt!r})
+"""
+
+
+class TestSignalInterrupt:
+    def _completed_entries(self, path):
+        if not os.path.exists(path):
+            return {}
+        try:
+            with open(path) as handle:
+                return json.load(handle).get("completed", {})
+        except json.JSONDecodeError:  # pragma: no cover - atomic writes
+            return {}
+
+    def test_sigterm_flushes_checkpoint_and_resume_matches(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        ckpt = str(tmp_path / "ckpt.json")
+        script = tmp_path / "campaign_script.py"
+        script.write_text(
+            textwrap.dedent(
+                _SIGTERM_SCRIPT.format(src=os.path.abspath(src), ckpt=ckpt)
+            )
+        )
+
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if len(self._completed_entries(ckpt)) >= 2:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        "campaign subprocess exited before the kill: "
+                        f"{proc.stderr.read()}"
+                    )
+                time.sleep(0.05)
+            else:
+                pytest.fail("checkpoint never reached 2 completed replications")
+
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+
+        # The interrupted run died by signal, after flushing its progress.
+        assert proc.returncode != 0
+        completed = self._completed_entries(ckpt)
+        assert 2 <= len(completed) < 9
+
+        # The checkpoint resumes in a fresh campaign object (the fingerprint
+        # covers the grid, not the runner) and the merged outcome is
+        # bit-identical to an uninterrupted run.
+        clean = toy_campaign().run()
+        resumed = toy_campaign().run(workers=1, checkpoint_path=ckpt)
+        assert resumed.reused_replications == len(completed)
+        assert [p.replications for p in resumed.points] == [
+            p.replications for p in clean.points
+        ]
 
 
 class TestExperimentCampaigns:

@@ -1,0 +1,291 @@
+"""Resilient executor: retry/backoff, respawn, speculation, chaos determinism."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.executors import (
+    PoolExecutor,
+    ResilientExecutor,
+    SerialExecutor,
+    TaskSpec,
+)
+from repro.experiments.faults import FaultPlan, FaultSpec, InjectedFaultError
+
+
+def _toy_runner(params, seed):
+    rng = np.random.default_rng(seed)
+    draws = rng.random(128)
+    return {
+        "mean_draw": float(draws.mean()) + float(params["offset"]),
+        "max_draw": float(draws.max()),
+    }
+
+
+def toy_campaign(replications=3, root_seed=123):
+    points = [{"offset": 0.0}, {"offset": 10.0}, {"offset": 20.0}]
+    return Campaign(
+        "toy", _toy_runner, points, replications=replications, root_seed=root_seed
+    )
+
+
+def _replications(outcome):
+    return [sorted(point.replications.items()) for point in outcome.points]
+
+
+def _fault_execute(payload):
+    """Executor-level trampoline: apply a fault plan, then return metrics."""
+    plan, point_index, replication, value = payload
+    plan.apply(point_index, replication)
+    return {"v": float(value)}
+
+
+def _slow_fault_execute(payload):
+    """Like :func:`_fault_execute` but each task takes a beat to finish."""
+    plan, point_index, replication, value = payload
+    plan.apply(point_index, replication)
+    time.sleep(0.2)
+    return {"v": float(value)}
+
+
+class TestRetryDelay:
+    def test_deterministic(self):
+        a = ResilientExecutor(workers=1, backoff_seed=7)
+        b = ResilientExecutor(workers=1, backoff_seed=7)
+        for task_index in range(5):
+            for retry in range(1, 5):
+                assert a.retry_delay(task_index, retry) == b.retry_delay(
+                    task_index, retry
+                )
+
+    def test_seed_and_task_change_the_jitter(self):
+        base = ResilientExecutor(workers=1, backoff_seed=0)
+        other_seed = ResilientExecutor(workers=1, backoff_seed=1)
+        assert base.retry_delay(0, 1) != other_seed.retry_delay(0, 1)
+        assert base.retry_delay(0, 1) != base.retry_delay(1, 1)
+
+    def test_exponential_growth_within_jitter_bounds(self):
+        executor = ResilientExecutor(
+            workers=1, backoff_base_s=0.5, backoff_max_s=64.0, backoff_jitter=0.25
+        )
+        for retry in range(1, 6):
+            nominal = 0.5 * 2.0 ** (retry - 1)
+            delay = executor.retry_delay(3, retry)
+            assert nominal <= delay <= nominal * 1.25
+
+    def test_backoff_cap(self):
+        executor = ResilientExecutor(
+            workers=1, backoff_base_s=1.0, backoff_max_s=4.0, backoff_jitter=0.0
+        )
+        assert executor.retry_delay(0, 10) == 4.0
+
+    def test_retry_is_one_based(self):
+        with pytest.raises(ValueError):
+            ResilientExecutor(workers=1).retry_delay(0, 0)
+
+
+class TestValidation:
+    def test_executor_parameters(self):
+        with pytest.raises(ValueError):
+            ResilientExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ResilientExecutor(workers=1, task_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ResilientExecutor(workers=1, max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilientExecutor(workers=1, straggler_factor=1.0)
+        with pytest.raises(ValueError):
+            PoolExecutor(workers=0)
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, "meteor-strike")
+        with pytest.raises(ValueError):
+            FaultSpec(-1, 0, "exception")
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, "delay", delay_s=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, "exception", times=0)
+
+    def test_task_key(self):
+        assert TaskSpec(point_index=3, replication=7, payload=None).key == "3/7"
+
+    def test_campaign_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            toy_campaign().run(executor="quantum")
+
+
+class TestFaultPlan:
+    def test_exception_fault_budget(self):
+        plan = FaultPlan([FaultSpec(0, 0, "exception", times=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedFaultError):
+                plan.apply(0, 0)
+        plan.apply(0, 0)  # budget spent: runs clean
+        plan.apply(1, 0)  # other coordinates never fire
+
+    def test_token_dir_accounting(self, tmp_path):
+        plan = FaultPlan([FaultSpec(0, 0, "exception", times=1)], token_dir=tmp_path)
+        with pytest.raises(InjectedFaultError):
+            plan.apply(0, 0)
+        # A second plan instance (another process in real runs) sees the
+        # consumed token and does not fire again.
+        again = FaultPlan([FaultSpec(0, 0, "exception", times=1)], token_dir=tmp_path)
+        again.apply(0, 0)
+
+
+class TestRetryAccounting:
+    def test_retries_until_fault_budget_spent(self, tmp_path):
+        # The fault fires twice; with max_retries=3 the third attempt succeeds.
+        plan = FaultPlan([FaultSpec(0, 0, "exception", times=2)], token_dir=tmp_path)
+        executor = ResilientExecutor(workers=2, max_retries=3, backoff_base_s=0.01)
+        tasks = [
+            TaskSpec(point_index=0, replication=rep, payload=(plan, 0, rep, rep))
+            for rep in range(4)
+        ]
+        outcomes = {o.task.replication: o for o in executor.run(_fault_execute, tasks)}
+        assert all(outcomes[rep].metrics == {"v": float(rep)} for rep in range(4))
+        assert outcomes[0].attempts == 3
+        assert all(outcomes[rep].attempts == 1 for rep in range(1, 4))
+        assert executor.stats.retries == 2
+        assert executor.stats.quarantined == 0
+
+    def test_poisoned_task_quarantined_campaign_degrades(self, tmp_path):
+        clean = toy_campaign().run()
+        plan = FaultPlan(
+            [FaultSpec(1, 2, "exception", times=-1)], token_dir=tmp_path
+        )
+        executor = ResilientExecutor(workers=2, max_retries=1, backoff_base_s=0.01)
+        outcome = toy_campaign().run(executor=executor, fault_plan=plan)
+
+        # Only the poisoned replication is missing; everything else matches
+        # the fault-free serial run bit for bit.
+        assert outcome.failed_replications == 1
+        assert list(outcome.points[1].failures) == [2]
+        assert "InjectedFaultError" in outcome.points[1].failures[2]
+        assert [p.index for p in outcome.degraded_points()] == [1]
+        assert outcome.executor_stats["quarantined"] == 1
+        assert outcome.executor_stats["retries"] == 1  # max_retries=1 spent
+        summary = outcome.points[1].summary()
+        assert summary["mean_draw"].failed == 1
+        assert summary["mean_draw"].count == 2
+        for point, reference in zip(outcome.points, clean.points):
+            for rep, metrics in point.replications.items():
+                assert metrics == reference.replications[rep]
+
+
+class TestWorkerCrashRespawn:
+    def test_crash_loses_only_the_inflight_task(self, tmp_path):
+        clean = toy_campaign().run()
+        plan = FaultPlan([FaultSpec(0, 1, "crash")], token_dir=tmp_path)
+        # Disable speculation: a speculative copy could consume the crash
+        # token and die unobserved after the original attempt wins the race.
+        executor = ResilientExecutor(
+            workers=2,
+            max_retries=2,
+            backoff_base_s=0.01,
+            straggler_min_completions=10_000,
+        )
+        outcome = toy_campaign().run(executor=executor, fault_plan=plan)
+        assert outcome.failed_replications == 0
+        assert _replications(outcome) == _replications(clean)
+        stats = outcome.executor_stats
+        assert stats["worker_crashes"] >= 1
+        assert stats["retries"] >= 1
+
+    def test_respawn_restores_fleet_strength(self, tmp_path):
+        # Slow tasks keep plenty of work unfinished when the crash is reaped,
+        # so the executor must bring the fleet back to full strength.
+        plan = FaultPlan([FaultSpec(0, 1, "crash")], token_dir=tmp_path)
+        executor = ResilientExecutor(
+            workers=2,
+            max_retries=2,
+            backoff_base_s=0.01,
+            straggler_min_completions=10_000,
+        )
+        tasks = [
+            TaskSpec(point_index=0, replication=rep, payload=(plan, 0, rep, rep))
+            for rep in range(6)
+        ]
+        outcomes = list(executor.run(_slow_fault_execute, tasks))
+        assert len(outcomes) == 6
+        assert all(o.metrics is not None for o in outcomes)
+        assert executor.stats.worker_crashes >= 1
+        assert executor.stats.workers_respawned >= 1
+        assert executor.stats.retries >= 1
+
+
+class TestStragglerReissue:
+    def test_speculative_duplicate_first_result_wins(self, tmp_path):
+        # One replication sleeps far past the mean completion time; with no
+        # timeout configured only speculation can rescue it, and the token
+        # budget (times=1) makes the duplicate run clean and win.
+        clean = toy_campaign().run()
+        plan = FaultPlan(
+            [FaultSpec(0, 0, "delay", delay_s=15.0)], token_dir=tmp_path
+        )
+        executor = ResilientExecutor(
+            workers=2,
+            max_retries=0,
+            straggler_factor=2.0,
+            straggler_min_completions=3,
+            poll_interval_s=0.01,
+        )
+        started = time.perf_counter()
+        outcome = toy_campaign().run(executor=executor, fault_plan=plan)
+        elapsed = time.perf_counter() - started
+        assert outcome.failed_replications == 0
+        assert _replications(outcome) == _replications(clean)
+        assert outcome.executor_stats["speculative_reissues"] >= 1
+        # The campaign never waited out the 15 s sleep: the duplicate won.
+        assert elapsed < 10.0
+
+
+class TestChaosDeterminism:
+    """Aggregates under injected chaos are bit-identical to fault-free runs."""
+
+    def test_crash_exception_and_timeout_chaos(self, tmp_path):
+        clean = toy_campaign().run()
+        plan = FaultPlan(
+            [
+                FaultSpec(0, 0, "crash"),
+                FaultSpec(1, 1, "exception", times=2),
+                FaultSpec(2, 2, "delay", delay_s=30.0),
+            ],
+            token_dir=tmp_path,
+        )
+        executor = ResilientExecutor(
+            workers=2,
+            task_timeout_s=3.0,
+            max_retries=3,
+            backoff_base_s=0.02,
+            straggler_min_completions=10_000,  # force the timeout path
+        )
+        outcome = toy_campaign().run(executor=executor, fault_plan=plan)
+        assert outcome.failed_replications == 0
+        assert outcome.completed_replications == clean.completed_replications
+        assert _replications(outcome) == _replications(clean)
+        assert outcome.executor_name == "resilient"
+        stats = outcome.executor_stats
+        assert stats["worker_crashes"] >= 1
+        assert stats["timeouts"] >= 1
+        assert stats["retries"] >= 3
+
+    def test_fault_free_backends_agree(self):
+        serial = toy_campaign().run(executor=SerialExecutor())
+        pool = toy_campaign().run(executor="pool", workers=2)
+        resilient = toy_campaign().run(
+            executor=ResilientExecutor(workers=2), workers=2
+        )
+        assert _replications(serial) == _replications(pool)
+        assert _replications(serial) == _replications(resilient)
+        assert serial.executor_name == "serial"
+        assert pool.executor_name == "pool"
+        assert resilient.executor_name == "resilient"
+
+    def test_serial_executor_propagates_injected_faults(self):
+        plan = FaultPlan([FaultSpec(0, 0, "exception")])
+        with pytest.raises(InjectedFaultError):
+            toy_campaign().run(fault_plan=plan)

@@ -13,7 +13,7 @@ from repro.opt import (
     solve_lp_relaxation,
     solve_near_optimal,
 )
-from repro.opt import SimplexScratch, solve_children_lp
+from repro.opt import SimplexIterationLimitError, SimplexScratch, solve_children_lp
 from repro.opt.exhaustive import MAX_ENUMERATION_POINTS
 from repro.opt.lp import simplex_lp
 
@@ -404,3 +404,74 @@ class TestLpRelaxation:
         lp = solve_lp_relaxation(problem, lower_bounds=np.array([3.0]),
                                  upper_bounds=np.array([1.0]))
         assert lp.status == "infeasible"
+
+
+class TestSimplexIterationLimit:
+    """The pivot-budget fallthrough raises instead of returning uncertified."""
+
+    @staticmethod
+    def _problem():
+        # Needs at least one pivot: the origin is feasible but not optimal.
+        return BoundedIntegerProgram(
+            objective=[2.0, 3.0],
+            constraint_matrix=[[1.0, 1.0]],
+            constraint_bounds=[4.0],
+            upper_bounds=[3, 3],
+        )
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_zero_budget_raises(self, batched):
+        problem = self._problem()
+        with pytest.raises(SimplexIterationLimitError, match="pivot budget"):
+            simplex_lp(
+                problem,
+                np.zeros(2),
+                problem.upper_bounds.astype(float),
+                batched=batched,
+                max_iterations=0,
+            )
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_sufficient_budget_certifies(self, batched):
+        problem = self._problem()
+        solution = simplex_lp(
+            problem,
+            np.zeros(2),
+            problem.upper_bounds.astype(float),
+            batched=batched,
+            max_iterations=50,
+        )
+        assert solution.status == "optimal"
+        assert solution.objective == pytest.approx(11.0)  # x = (1, 3)
+
+    def test_near_optimal_falls_back_to_greedy(self, monkeypatch):
+        # Simulate a degenerate cycling instance: the LP leg blows its pivot
+        # budget and solve_near_optimal must return the greedy solution.
+        import repro.opt.lp as lp_module
+
+        problem = self._problem()
+        expected = solve_greedy(problem)
+
+        def exhausted(*args, **kwargs):
+            raise SimplexIterationLimitError("simplex exhausted its pivot budget")
+
+        monkeypatch.setattr(lp_module, "solve_lp_relaxation", exhausted)
+        solution = solve_near_optimal(problem)
+        assert np.array_equal(solution.values, expected.values)
+        assert solution.objective == pytest.approx(expected.objective)
+
+    def test_scheduler_degrades_to_greedy_decision(self, monkeypatch):
+        from repro.mac.schedulers import jaba_sd as jaba_module
+        from repro.mac.schedulers.jaba_sd import JabaSdScheduler
+
+        problem = self._problem()
+        expected = solve_greedy(problem)
+
+        def exhausted(*args, **kwargs):
+            raise SimplexIterationLimitError("simplex exhausted its pivot budget")
+
+        monkeypatch.setattr(jaba_module, "solve_near_optimal", exhausted)
+        scheduler = JabaSdScheduler("J1", solver="near-optimal")
+        solution = scheduler._solve(problem)
+        assert np.array_equal(solution.values, expected.values)
+        assert solution.objective == pytest.approx(expected.objective)
