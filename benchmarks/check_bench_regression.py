@@ -10,7 +10,11 @@ regress:
   must still produce the guaranteed numerics);
 * each gated *speedup* — optimized-over-oracle throughput measured inside
   one process — must stay above ``min_ratio_vs_baseline`` (default 0.7,
-  i.e. fail on a >30 % throughput drop) of its baseline value.
+  i.e. fail on a >30 % throughput drop) of its baseline value;
+* the telemetry hook points must stay ~free: the in-process A/B of the
+  default ``hooks=None`` path against an installed no-op ``SimHooks``
+  (``noop_hooks_overhead`` in the frame-rate and fleet reports) must not
+  exceed its 2% overhead budget.
 
 Two baseline sources are consulted:
 
@@ -54,6 +58,31 @@ def _load(path: Path) -> Dict:
         return json.load(handle)
 
 
+def _gate_noop_hooks_overhead(name: str, report: Dict, failures: List[str]) -> None:
+    """Fail when the installed-no-op-hooks A/B exceeds its overhead budget.
+
+    The default ``hooks=None`` path is gated implicitly by the throughput
+    baselines; this additionally bounds what merely *installing* a no-op
+    observer may cost.
+    """
+    overhead = report.get("noop_hooks_overhead", {})
+    if not overhead:
+        failures.append(f"{name}: noop_hooks_overhead section missing from report")
+        return
+    measured = float(overhead.get("overhead_fraction", 0.0))
+    budget = float(overhead.get("max_overhead_fraction", 0.02))
+    verdict = "ok" if measured <= budget else "REGRESSION"
+    print(
+        f"  {name}[noop_hooks_overhead]: {measured * 100:+.2f}% "
+        f"(budget {budget * 100:.0f}%) -> {verdict}"
+    )
+    if measured > budget:
+        failures.append(
+            f"{name}: no-op hooks overhead {measured * 100:.2f}% exceeds "
+            f"the {budget * 100:.0f}% budget"
+        )
+
+
 def _frame_rate_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
     failures = []
     parity = report.get("parity", {})
@@ -61,6 +90,7 @@ def _frame_rate_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]
         failures.append("frame_rate: cold pipeline is no longer bit-identical")
     if not parity.get("warm_tolerance_pass", False):
         failures.append("frame_rate: warm pipeline exceeds its tolerance")
+    _gate_noop_hooks_overhead("frame_rate", report, failures)
     return dict(report.get("speedup", {})), failures
 
 
@@ -94,6 +124,7 @@ def _fleet_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
             "fleet: scalar/fleet statistical parity broke "
             f"({', '.join(broken) or 'unknown check'})"
         )
+    _gate_noop_hooks_overhead("fleet", report, failures)
     return dict(report.get("speedup_trajectory", {})), failures
 
 

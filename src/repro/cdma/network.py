@@ -296,6 +296,11 @@ class CdmaNetwork:
         #: dict, :meth:`advance` adds its mobility kernel time under
         #: ``"mobility"`` (used by the fleet benchmark harness).
         self.stage_times_s: Optional[dict] = None
+        #: Optional :class:`repro.utils.hooks.SimHooks` observer; when set,
+        #: :meth:`advance` reports the mobility kernel as a ``"mobility"``
+        #: stage (enter/exit with wall time).  Assigned by the dynamic
+        #: simulator so network stages join its hooked frame pipeline.
+        self.hooks = None
 
         # Warm-start state for the power-control solvers.
         self.warm_start_power_control = bool(warm_start_power_control)
@@ -424,14 +429,21 @@ class CdmaNetwork:
         """
         if dt_s < 0.0:
             raise ValueError("dt_s must be non-negative")
-        if self.stage_times_s is None:
+        hooks = self.hooks
+        if self.stage_times_s is None and hooks is None:
             self._mobility_batch.advance(dt_s, out_moved=self._moved_buf)
         else:
+            if hooks is not None:
+                hooks.stage_enter("mobility", self._time_s)
             t0 = time.perf_counter()
             self._mobility_batch.advance(dt_s, out_moved=self._moved_buf)
-            self.stage_times_s["mobility"] = (
-                self.stage_times_s.get("mobility", 0.0) + time.perf_counter() - t0
-            )
+            elapsed = time.perf_counter() - t0
+            if self.stage_times_s is not None:
+                self.stage_times_s["mobility"] = (
+                    self.stage_times_s.get("mobility", 0.0) + elapsed
+                )
+            if hooks is not None:
+                hooks.stage_exit("mobility", self._time_s, elapsed)
         if self.num_mobiles > 0:
             self.link_gains.advance(self._positions_arr, self._moved_buf, dt_s)
         self._time_s += dt_s

@@ -318,6 +318,13 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock.
+    hooks:
+        Optional :class:`repro.utils.hooks.SimHooks` observer notified of
+        event scheduling (:meth:`~repro.utils.hooks.SimHooks.event_scheduled`),
+        event dispatch and unhandled event failures.  ``None`` (the default)
+        keeps the engine hook-free: every dispatch point guards with a
+        single ``is not None`` branch, so the default path stays
+        allocation- and call-free.
 
     Examples
     --------
@@ -332,13 +339,15 @@ class Environment:
     [2.0]
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, hooks: Optional[Any] = None) -> None:
         self._now = float(initial_time)
         #: Heap of *unique* ``(time, priority)`` keys with a pending bucket.
         self._queue: list = []
         #: ``(time, priority) -> deque of events`` in scheduling (FIFO) order.
         self._buckets: dict = {}
         self._active_process: Optional[Process] = None
+        #: Optional SimHooks observer (see class docstring); assignable.
+        self.hooks = hooks
 
     # -- clock -------------------------------------------------------------
     @property
@@ -394,6 +403,8 @@ class Environment:
             bucket.append(event)
         else:
             self._buckets[key] = deque((bucket, event))
+        if self.hooks is not None:
+            self.hooks.event_scheduled(key[0], priority, len(self._queue))
 
     def _purge_head(self):
         """Return the head key with a non-empty bucket, dropping stale keys.
@@ -445,9 +456,13 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
             return
+        if self.hooks is not None:
+            self.hooks.event_dispatched(self._now, len(callbacks))
         for callback in callbacks:
             callback(event)
         if not event._ok and not event.defused:
+            if self.hooks is not None:
+                self.hooks.event_error(self._now, event._value)
             raise event._value
 
     def run(self, until: Optional[float] = None) -> Any:
@@ -473,6 +488,9 @@ class Environment:
         queue = self._queue
         buckets = self._buckets
         heappop = heapq.heappop
+        # Cached for the drain loops: reassigning ``hooks`` mid-run takes
+        # effect on the next run() call, not mid-storm.
+        hooks = self.hooks
         while queue:
             if stop_event is not None and stop_event.processed:
                 break
@@ -501,18 +519,26 @@ class Environment:
                 event = bucket
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is not None:
+                    if hooks is not None:
+                        hooks.event_dispatched(self._now, len(callbacks))
                     for callback in callbacks:
                         callback(event)
                     if not event._ok and not event.defused:
+                        if hooks is not None:
+                            hooks.event_error(self._now, event._value)
                         raise event._value
                 continue
             while bucket:
                 event = bucket.popleft()
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is not None:
+                    if hooks is not None:
+                        hooks.event_dispatched(self._now, len(callbacks))
                     for callback in callbacks:
                         callback(event)
                     if not event._ok and not event.defused:
+                        if hooks is not None:
+                            hooks.event_error(self._now, event._value)
                         raise event._value
                 if (stop_event is not None and stop_event.processed) or (
                     queue[0] is not key

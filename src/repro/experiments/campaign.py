@@ -67,6 +67,13 @@ from repro.experiments.executors import (
     SerialExecutor,
     TaskSpec,
 )
+from repro.utils.hooks import SimHooks, resolve_hooks
+from repro.utils.recorder import (
+    EventRecorder,
+    JsonlSink,
+    RecorderHooks,
+    use_recorder,
+)
 from repro.utils.stats import confidence_interval
 
 __all__ = [
@@ -253,16 +260,47 @@ def _execute_task(payload) -> MetricDict:
     """Run one replication; the executing process may be anywhere.
 
     ``payload`` is ``(runner, params, root_seed, point_index, replication,
-    seed_group, fault_plan)``.  The optional fault plan fires *before* the
-    runner, so an injected fault can fail or delay the attempt but can never
-    alter the metrics of a successful one — which is what makes chaos runs
-    bit-identical to clean ones.
+    seed_group, fault_plan, trace_dir)``.  The optional fault plan fires
+    *before* the runner, so an injected fault can fail or delay the attempt
+    but can never alter the metrics of a successful one — which is what
+    makes chaos runs bit-identical to clean ones.
+
+    When ``trace_dir`` is set, the replication records a per-replication
+    event trace to ``<trace_dir>/point<PI>_rep<R>.jsonl``: an ambient
+    recorder (:func:`repro.utils.recorder.use_recorder`) wraps the runner
+    call so any :class:`~repro.simulation.dynamic.DynamicSystemSimulator`
+    the runner builds traces into it automatically.  The sink is atomic
+    (write-aside + rename on close), so a speculative duplicate racing on
+    the same path publishes one complete file.  Tracing only observes — the
+    returned metrics are bit-identical to an untraced run.
     """
-    runner, params, root_seed, point_index, replication, seed_group, plan = payload
+    runner, params, root_seed, point_index, replication, seed_group, plan, trace_dir = (
+        payload
+    )
     if plan is not None:
         plan.apply(point_index, replication)
     seed = replication_seed(root_seed, seed_group, replication)
-    metrics = runner(params, seed)
+    if trace_dir is None:
+        metrics = runner(params, seed)
+    else:
+        path = os.path.join(
+            trace_dir, f"point{point_index:03d}_rep{replication:03d}.jsonl"
+        )
+        with EventRecorder(JsonlSink(path, atomic=True)) as recorder:
+            recorder.record(
+                "replication_start",
+                point_index=point_index,
+                replication=replication,
+                seed_group=seed_group,
+            )
+            with use_recorder(recorder):
+                metrics = runner(params, seed)
+            recorder.record(
+                "replication_end",
+                point_index=point_index,
+                replication=replication,
+                num_metrics=len(metrics),
+            )
     return {str(key): float(value) for key, value in metrics.items()}
 
 
@@ -440,6 +478,8 @@ class Campaign:
         progress: Optional[Callable[[int, int], None]] = None,
         executor: Optional[ExecutorSpec] = None,
         fault_plan=None,
+        hooks: Optional[SimHooks] = None,
+        trace_dir: Optional[str] = None,
     ) -> CampaignResult:
         """Execute the campaign and aggregate the results.
 
@@ -466,6 +506,18 @@ class Campaign:
         fault_plan:
             Optional :class:`~repro.experiments.faults.FaultPlan` injected
             into the task payloads (chaos testing).
+        hooks:
+            Optional :class:`repro.utils.hooks.SimHooks` observer of the
+            executor's task lifecycle (issue / completion / retry /
+            quarantine).
+        trace_dir:
+            When set, the campaign writes structured telemetry under this
+            directory (created if needed): ``campaign.jsonl`` with the
+            campaign envelope and every task-lifecycle event, plus one
+            ``point<PI>_rep<R>.jsonl`` per replication carrying the events
+            of that replication's simulation (see
+            :mod:`repro.utils.recorder`).  Tracing only observes; the
+            aggregated results are bit-identical to an untraced run.
 
         A SIGINT/SIGTERM received while running flushes a final checkpoint,
         terminates the workers promptly and re-raises ``KeyboardInterrupt``,
@@ -475,6 +527,22 @@ class Campaign:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         backend = self._resolve_executor(executor, workers)
+        campaign_recorder: Optional[EventRecorder] = None
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            campaign_recorder = EventRecorder(
+                JsonlSink(os.path.join(trace_dir, "campaign.jsonl"))
+            )
+            campaign_recorder.record(
+                "campaign_start",
+                campaign=self.name,
+                root_seed=self.root_seed,
+                num_points=len(self.points),
+                replications=self.replications,
+                executor=backend.name,
+            )
+            hooks = resolve_hooks(hooks, RecorderHooks(campaign_recorder))
+        backend.hooks = resolve_hooks(backend.hooks, hooks)
         started = time.perf_counter()
         # Hashing the whole grid is O(points); do it once per run, not once
         # per checkpoint write.
@@ -496,6 +564,7 @@ class Campaign:
                     rep,
                     self.seed_groups[pi],
                     fault_plan,
+                    trace_dir,
                 ),
             )
             for pi, rep in self.tasks()
@@ -550,6 +619,14 @@ class Campaign:
                 # final flush only guards against a write interrupted at the
                 # exact moment a signal arrived.
                 self._write_checkpoint(checkpoint_path, completed, fingerprint)
+            if campaign_recorder is not None:
+                campaign_recorder.record(
+                    "campaign_end",
+                    completed=len(completed),
+                    failed=len(failed),
+                    executor_stats=backend.stats.as_dict(),
+                )
+                campaign_recorder.close()
 
         points = [
             PointResult(index=index, params=dict(params))
@@ -623,6 +700,10 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="resilient executor only: failed attempts "
                              "re-issued before a task is quarantined "
                              "(default 2)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="record structured telemetry (campaign.jsonl + "
+                             "one JSONL trace per replication) under this "
+                             "directory")
     args = parser.parse_args(argv)
 
     # Flags that a given experiment would silently drop are rejected instead.
@@ -656,7 +737,10 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     if args.schedulers:
         factories = {label: label for label in args.schedulers}
     common = dict(
-        workers=args.workers, checkpoint_path=args.checkpoint, executor=executor
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        executor=executor,
+        trace_dir=args.trace_dir,
     )
     if args.experiment == "coverage":
         kwargs = dict(

@@ -86,6 +86,7 @@ def run_capacity(
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
     executor=None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Estimate the per-cell data-user capacity of every scheduler.
 
@@ -96,7 +97,7 @@ def run_capacity(
     loads:
         Increasing data-user populations probed (default 6, 12, 18, 24, 30).
     scenario / scheduler_factories / num_seeds / workers / checkpoint_path /
-    executor:
+    executor / trace_dir:
         As in :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
     """
     if delay_target_s <= 0.0:
@@ -110,7 +111,10 @@ def run_capacity(
     )
     campaign.name = "T1-capacity"
     outcome = campaign.run(
-        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        executor=executor,
+        trace_dir=trace_dir,
     )
     return reduce_capacity(outcome, delay_target_s)
 

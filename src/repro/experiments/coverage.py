@@ -197,6 +197,7 @@ def run_coverage(
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
     executor=None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Coverage vs. data load (and optionally cell radius) per scheduler.
 
@@ -227,6 +228,10 @@ def run_coverage(
         Execution back-end override (``"serial"``, ``"pool"``, ``"resilient"``
         or an :class:`~repro.experiments.executors.Executor` instance); the
         default picks serial/pool from ``workers``.
+    trace_dir:
+        Optional directory receiving structured campaign telemetry
+        (``campaign.jsonl`` + one JSONL trace per replication); aggregates
+        stay bit-identical to an untraced run.
     """
     campaign = build_coverage_campaign(
         loads=loads,
@@ -242,7 +247,10 @@ def run_coverage(
         num_replications=num_replications,
     )
     outcome = campaign.run(
-        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        executor=executor,
+        trace_dir=trace_dir,
     )
     return reduce_coverage(outcome, campaign.metadata)
 

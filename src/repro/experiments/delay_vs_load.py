@@ -170,6 +170,7 @@ def run_delay_vs_load(
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
     executor=None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Sweep the data-user population and record per-link packet delays.
 
@@ -192,6 +193,10 @@ def run_delay_vs_load(
     executor:
         Execution back-end override (``"serial"``, ``"pool"``, ``"resilient"``
         or an :class:`~repro.experiments.executors.Executor` instance).
+    trace_dir:
+        Optional directory receiving structured campaign telemetry
+        (``campaign.jsonl`` + one JSONL trace per replication, including
+        the dynamic runs' frame/stage/admission events).
     """
     campaign = build_delay_campaign(
         loads=loads,
@@ -200,7 +205,10 @@ def run_delay_vs_load(
         num_seeds=num_seeds,
     )
     outcome = campaign.run(
-        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        executor=executor,
+        trace_dir=trace_dir,
     )
     return reduce_delay(outcome)
 

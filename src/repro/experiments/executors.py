@@ -49,6 +49,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.utils.hooks import SimHooks
+
 __all__ = [
     "TaskSpec",
     "TaskOutcome",
@@ -118,12 +120,18 @@ class Executor:
     the engine's signal handling).  Executors other than the resilient one
     propagate task exceptions — aborting the campaign — which is the historic
     behaviour and keeps their no-failure fast path overhead-free.
+
+    :attr:`hooks` is an optional :class:`repro.utils.hooks.SimHooks`
+    observer (assigned by the campaign engine) notified of task issue,
+    completion, retry and quarantine; ``None`` keeps every dispatch point a
+    single ``is not None`` branch.
     """
 
     name = "base"
 
     def __init__(self) -> None:
         self.stats = ExecutorStats()
+        self.hooks: Optional[SimHooks] = None
 
     def run(self, execute: ExecuteFn, tasks: Sequence[TaskSpec]) -> Iterator[TaskOutcome]:
         raise NotImplementedError
@@ -143,14 +151,18 @@ class SerialExecutor(Executor):
 
     def run(self, execute: ExecuteFn, tasks: Sequence[TaskSpec]) -> Iterator[TaskOutcome]:
         self._stop_requested = False
+        hooks = self.hooks
         for task in tasks:
             if self._stop_requested:
                 return
+            if hooks is not None:
+                hooks.task_issued(task.key, attempt=1)
             started = time.perf_counter()
             metrics = execute(task.payload)
-            yield TaskOutcome(
-                task=task, metrics=metrics, duration_s=time.perf_counter() - started
-            )
+            duration = time.perf_counter() - started
+            if hooks is not None:
+                hooks.task_completed(task.key, attempts=1, duration_s=duration)
+            yield TaskOutcome(task=task, metrics=metrics, duration_s=duration)
 
     def stop(self) -> None:
         self._stop_requested = True
@@ -189,12 +201,22 @@ class PoolExecutor(Executor):
         method = "fork" if "fork" in mp.get_all_start_methods() else None
         ctx = mp.get_context(method)
         payloads = [(execute, index, task.payload) for index, task in enumerate(tasks)]
+        hooks = self.hooks
+        if hooks is not None:
+            # The pool hands tasks out internally; issue is observable only
+            # at submission granularity.
+            for task in tasks:
+                hooks.task_issued(task.key, attempt=1)
         with ctx.Pool(processes=self.workers) as pool:
             self._pool = pool
             try:
                 for index, metrics in pool.imap_unordered(
                     _pool_entry, payloads, chunksize=1
                 ):
+                    if hooks is not None:
+                        hooks.task_completed(
+                            tasks[index].key, attempts=1, duration_s=0.0
+                        )
                     yield TaskOutcome(task=tasks[index], metrics=metrics)
             finally:
                 self._pool = None
@@ -409,6 +431,13 @@ class ResilientExecutor(Executor):
                 self.stats.retries += 1
                 delay = self.retry_delay(index, failed_attempts[index])
                 pending.append((time.monotonic() + delay, index))
+                if self.hooks is not None:
+                    self.hooks.task_retry(
+                        tasks[index].key,
+                        attempt=failed_attempts[index],
+                        delay_s=delay,
+                        reason=reason,
+                    )
                 return None
             if running_copies[index] > 0:
                 # A speculative duplicate is still in flight and may yet
@@ -416,6 +445,10 @@ class ResilientExecutor(Executor):
                 return None
             finished[index] = True
             self.stats.quarantined += 1
+            if self.hooks is not None:
+                self.hooks.task_quarantined(
+                    tasks[index].key, attempts=failed_attempts[index], reason=reason
+                )
             return TaskOutcome(
                 task=tasks[index],
                 metrics=None,
@@ -444,6 +477,10 @@ class ResilientExecutor(Executor):
             attempts[ticket] = _Attempt(task_index=index, started_at=time.monotonic())
             running_copies[index] += 1
             worker.ticket = ticket
+            if self.hooks is not None:
+                self.hooks.task_issued(
+                    tasks[index].key, attempt=failed_attempts[index] + 1
+                )
             worker.conn.send((ticket, execute, tasks[index].payload))
 
         try:
@@ -559,6 +596,12 @@ class ResilientExecutor(Executor):
                             finished[index] = True
                             duration = time.monotonic() - attempt.started_at
                             durations.append(duration)
+                            if self.hooks is not None:
+                                self.hooks.task_completed(
+                                    tasks[index].key,
+                                    attempts=failed_attempts[index] + 1,
+                                    duration_s=duration,
+                                )
                             fresh.append(
                                 TaskOutcome(
                                     task=tasks[index],

@@ -116,6 +116,7 @@ def run_objectives_tradeoff(
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
     executor=None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Sweep the delay-penalty weight of objective J2 at a fixed (loaded) point.
 
@@ -127,7 +128,7 @@ def run_objectives_tradeoff(
         ``mu`` (``delay_forgetting_factor``) used for all non-zero points.
     load:
         Data users per cell (choose a point beyond the knee of F2).
-    num_seeds / workers / checkpoint_path / executor:
+    num_seeds / workers / checkpoint_path / executor / trace_dir:
         Campaign controls, as in
         :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
     """
@@ -139,7 +140,10 @@ def run_objectives_tradeoff(
         num_seeds=num_seeds,
     )
     outcome = campaign.run(
-        workers=workers, checkpoint_path=checkpoint_path, executor=executor
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        executor=executor,
+        trace_dir=trace_dir,
     )
     return reduce_objectives(outcome, forgetting_factor, load)
 

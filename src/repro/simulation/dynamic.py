@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -47,6 +48,13 @@ from repro.simulation.metrics import MetricsCollector, SimulationResult
 from repro.simulation.scenario import ScenarioConfig
 from repro.traffic.data import DataTrafficFleet, PacketCallDataSource, TruncatedParetoSize
 from repro.traffic.voice import OnOffVoiceSource, VoiceFleet
+from repro.utils.hooks import CompositeHooks, SimHooks, StageTimingHooks
+from repro.utils.recorder import (
+    EventRecorder,
+    JsonlSink,
+    RecorderHooks,
+    current_recorder,
+)
 from repro.utils.rng import RngFactory
 
 __all__ = ["DynamicSystemSimulator"]
@@ -69,11 +77,40 @@ class DynamicSystemSimulator:
         Scenario configuration (population, traffic, mobility, duration).
     scheduler:
         Scheduling policy under test.
+    hooks:
+        Optional :class:`repro.utils.hooks.SimHooks` observer of the frame
+        pipeline (per-stage enter/exit with wall time, one ``frame`` event
+        per frame, per-decision admission outcomes).  When ``None`` (the
+        default) the simulator resolves a recorder instead: a
+        ``scenario.trace_path`` records the run to that JSONL file, else an
+        ambient recorder installed via
+        :func:`repro.utils.recorder.use_recorder` (the campaign engine's
+        channel) is used; with neither, the frame loop runs hook-free at
+        zero observability overhead.
     """
 
-    def __init__(self, scenario: ScenarioConfig, scheduler: BurstScheduler) -> None:
+    def __init__(
+        self,
+        scenario: ScenarioConfig,
+        scheduler: BurstScheduler,
+        hooks: Optional[SimHooks] = None,
+    ) -> None:
         self.scenario = scenario
         self.scheduler = scheduler
+        #: Recorder owned by this simulator (created for ``trace_path``);
+        #: closed — and its trace file published — at the end of :meth:`run`.
+        self._owned_recorder: Optional[EventRecorder] = None
+        if hooks is None:
+            if scenario.trace_path:
+                self._owned_recorder = EventRecorder(
+                    JsonlSink(scenario.trace_path, atomic=True)
+                )
+                hooks = RecorderHooks(self._owned_recorder)
+            else:
+                ambient = current_recorder()
+                if ambient is not None:
+                    hooks = RecorderHooks(ambient)
+        self.hooks = hooks
         self.batched_fleet = bool(scenario.batched_fleet)
         self._rng_factory = RngFactory(scenario.seed)
         system = scenario.effective_system()
@@ -168,6 +205,7 @@ class DynamicSystemSimulator:
             warm_start_power_control=scenario.warm_start_power_control,
             mobility_fleet=self.mobility_fleet,
         )
+        self.network.hooks = self.hooks
         self.controller = BurstAdmissionController(
             system, scheduler, batched=scenario.batched_admission
         )
@@ -249,8 +287,13 @@ class DynamicSystemSimulator:
         self._waiting_count = np.zeros(num_users, dtype=int)
         self.metrics = MetricsCollector(warmup_s=scenario.warmup_s)
         #: Per-stage wall-time accumulator (seconds), populated by
-        #: ``run(collect_stage_times=True)``.
+        #: ``run(collect_stage_times=True)`` (deprecated shim over the
+        #: hooks layer — see :class:`repro.utils.hooks.StageTimingHooks`).
         self.stage_times_s: Optional[Dict[str, float]] = None
+        #: The hooks in effect for the current run (includes the stage-
+        #: timing shim when ``collect_stage_times=True``); dispatch target
+        #: of the admission path.
+        self._active_hooks: Optional[SimHooks] = self.hooks
 
     # -- traffic handling -----------------------------------------------------------------
     def _enqueue_request(
@@ -394,11 +437,21 @@ class DynamicSystemSimulator:
             self.mac_states[mobile_index].touch()
 
     def _run_admission(self, snapshot: NetworkSnapshot, now_s: float) -> None:
+        hooks = self._active_hooks
         for link in (LinkDirection.FORWARD, LinkDirection.REVERSE):
             pending = self.pending[link]
             if not pending:
                 continue
             decision, grants = self.controller.decide(snapshot, pending, link)
+            if hooks is not None:
+                hooks.admission(
+                    now_s,
+                    link.value,
+                    num_pending=len(pending),
+                    num_granted=len(grants),
+                    objective_value=float(decision.objective_value),
+                    optimal=bool(decision.optimal),
+                )
             granted_ids = set()
             for grant in grants:
                 request = grant.request
@@ -435,12 +488,12 @@ class DynamicSystemSimulator:
         for j, machine in self.mac_states.items():
             machine.advance(dt_s, active=j in serving)
 
-    def _timed_stage(self, name: str, fn, *args) -> None:
+    def _hooked_stage(self, hooks: SimHooks, name: str, now_s: float, fn, *args) -> None:
+        """Run one pipeline stage under the hooks protocol (enter/exit + wall time)."""
+        hooks.stage_enter(name, now_s)
         t0 = time.perf_counter()
         fn(*args)
-        self.stage_times_s[name] = (
-            self.stage_times_s.get(name, 0.0) + time.perf_counter() - t0
-        )
+        hooks.stage_exit(name, now_s, time.perf_counter() - t0)
 
     # -- main loop ----------------------------------------------------------------------------------
     def run(
@@ -454,11 +507,33 @@ class DynamicSystemSimulator:
             When given, a progress line is printed every ``progress`` frames
             (useful for the long experiment runs).
         collect_stage_times:
-            Accumulate the wall time of the per-user simulation stages
-            (voice activity, packet-call arrivals, data-channel activity,
-            MAC states, mobility) into :attr:`stage_times_s`; used by the
-            fleet benchmark harness.  Off by default (zero overhead).
+            Deprecated shim: installs a
+            :class:`repro.utils.hooks.StageTimingHooks` for the run and
+            copies its totals into :attr:`stage_times_s` afterwards.
+            Construct the simulator with ``hooks=StageTimingHooks()``
+            instead.  Off by default (zero overhead).
         """
+        hooks = self.hooks
+        timing_hooks: Optional[StageTimingHooks] = None
+        if collect_stage_times:
+            warnings.warn(
+                "run(collect_stage_times=True) is deprecated; pass "
+                "hooks=StageTimingHooks() to DynamicSystemSimulator and read "
+                "hooks.totals instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            timing_hooks = StageTimingHooks()
+            hooks = (
+                timing_hooks
+                if hooks is None
+                else CompositeHooks([hooks, timing_hooks])
+            )
+        self._active_hooks = hooks
+        self.network.hooks = hooks
+        self.stage_times_s = None
+        self.network.stage_times_s = None
+
         scenario = self.scenario
         frame_s = self.system.mac.frame_duration_s
         total_time = scenario.warmup_s + scenario.duration_s
@@ -466,47 +541,77 @@ class DynamicSystemSimulator:
         bs_noise_power_w = np.asarray(
             [bs.noise_power_w for bs in self.network.base_stations]
         )
-        self.stage_times_s = {} if collect_stage_times else None
-        self.network.stage_times_s = self.stage_times_s
-
-        for frame_index in range(num_frames):
-            now = self.network.time_s
-            if collect_stage_times:
-                self._timed_stage("voice", self._update_voice_activity, frame_s)
-                self._timed_stage("arrivals", self._pull_arrivals, now)
-                self._complete_bursts(now)
-                self._timed_stage("data_activity", self._update_data_activity)
-            else:
-                self._update_voice_activity(frame_s)
-                self._pull_arrivals(now)
-                self._complete_bursts(now)
-                self._update_data_activity()
-            snapshot = self.network.snapshot()
-            self._run_admission(snapshot, now)
-            pending_count = sum(len(v) for v in self.pending.values())
-            self.metrics.record_frame(
-                now,
-                pending_requests=pending_count,
-                forward_utilisation=float(
-                    np.mean(snapshot.forward_load.utilisation())
-                ),
-                reverse_rise_db=float(
-                    np.mean(
-                        snapshot.reverse_load.rise_over_thermal_db(bs_noise_power_w)
-                    )
-                ),
-                fch_outage_fraction=snapshot.fch_outage_fraction(),
+        if hooks is not None:
+            hooks.run_start(
+                self.network.time_s,
+                frames=num_frames,
+                frame_duration_s=frame_s,
+                scheduler=self.scheduler.name,
+                batched_fleet=self.batched_fleet,
+                num_data_users=len(self.data_user_indices),
+                num_voice_users=len(self.voice_user_indices),
             )
-            if collect_stage_times:
-                self._timed_stage("mac", self._update_mac_states, frame_s)
-            else:
-                self._update_mac_states(frame_s)
-            self.network.advance(frame_s)
-            if progress and (frame_index + 1) % progress == 0:  # pragma: no cover
-                print(
-                    f"  t={self.network.time_s:7.2f}s  pending={pending_count:4d} "
-                    f"active_bursts={len(self.active_bursts):4d}"
+
+        try:
+            for frame_index in range(num_frames):
+                now = self.network.time_s
+                if hooks is not None:
+                    self._hooked_stage(
+                        hooks, "voice", now, self._update_voice_activity, frame_s
+                    )
+                    self._hooked_stage(hooks, "arrivals", now, self._pull_arrivals, now)
+                    self._complete_bursts(now)
+                    self._hooked_stage(
+                        hooks, "data_activity", now, self._update_data_activity
+                    )
+                else:
+                    self._update_voice_activity(frame_s)
+                    self._pull_arrivals(now)
+                    self._complete_bursts(now)
+                    self._update_data_activity()
+                snapshot = self.network.snapshot()
+                self._run_admission(snapshot, now)
+                pending_count = sum(len(v) for v in self.pending.values())
+                self.metrics.record_frame(
+                    now,
+                    pending_requests=pending_count,
+                    forward_utilisation=float(
+                        np.mean(snapshot.forward_load.utilisation())
+                    ),
+                    reverse_rise_db=float(
+                        np.mean(
+                            snapshot.reverse_load.rise_over_thermal_db(bs_noise_power_w)
+                        )
+                    ),
+                    fch_outage_fraction=snapshot.fch_outage_fraction(),
                 )
+                if hooks is not None:
+                    hooks.frame(
+                        frame_index,
+                        now,
+                        pending_requests=pending_count,
+                        active_bursts=len(self.active_bursts),
+                    )
+                    self._hooked_stage(
+                        hooks, "mac", now, self._update_mac_states, frame_s
+                    )
+                else:
+                    self._update_mac_states(frame_s)
+                self.network.advance(frame_s)
+                if progress and (frame_index + 1) % progress == 0:  # pragma: no cover
+                    print(
+                        f"  t={self.network.time_s:7.2f}s  pending={pending_count:4d} "
+                        f"active_bursts={len(self.active_bursts):4d}"
+                    )
+            if hooks is not None:
+                hooks.run_end(self.network.time_s, frames=num_frames)
+        finally:
+            if timing_hooks is not None:
+                self.stage_times_s = dict(timing_hooks.totals)
+            if self._owned_recorder is not None:
+                # Publish the trace_path file (the atomic sink renames on
+                # close); a second run() records nothing further.
+                self._owned_recorder.close()
 
         return self.metrics.summarise(
             scheduler=self.scheduler.name,

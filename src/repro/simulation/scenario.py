@@ -115,6 +115,14 @@ class ScenarioConfig:
         distributions — but not sample-path identical to the scalar path;
         the scalar default stays bit-for-bit reproducible.  See the fleet
         RNG contract in ``benchmarks/README.md``.
+    trace_path:
+        When set, the dynamic simulator records its telemetry event stream
+        (run/frame/stage/admission events, see
+        :mod:`repro.utils.recorder`) to this JSONL file.  ``None`` (the
+        default) records nothing and keeps the frame loop on its
+        hook-free fast path.  An explicit ``hooks=`` argument to
+        :class:`~repro.simulation.dynamic.DynamicSystemSimulator` takes
+        precedence over this path.
     """
 
     system: SystemConfig = field(default_factory=SystemConfig)
@@ -130,6 +138,7 @@ class ScenarioConfig:
     power_control_tolerance: Optional[float] = None
     batched_admission: bool = True
     batched_fleet: bool = False
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_non_negative_int("num_data_users_per_cell", self.num_data_users_per_cell)

@@ -15,6 +15,27 @@ from repro.utils.stats import (
     confidence_interval,
 )
 from repro.utils.tables import format_table
+from repro.utils.hooks import (
+    SimHooks,
+    CompositeHooks,
+    StageTimingHooks,
+    resolve_hooks,
+)
+from repro.utils.recorder import (
+    SCHEMA_VERSION,
+    EVENT_SCHEMA,
+    validate_event,
+    normalize_event,
+    Sink,
+    MemorySink,
+    JsonlSink,
+    AsyncSink,
+    read_jsonl,
+    EventRecorder,
+    RecorderHooks,
+    use_recorder,
+    current_recorder,
+)
 
 __all__ = [
     "db_to_linear",
@@ -29,4 +50,21 @@ __all__ = [
     "Histogram",
     "confidence_interval",
     "format_table",
+    "SimHooks",
+    "CompositeHooks",
+    "StageTimingHooks",
+    "resolve_hooks",
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMA",
+    "validate_event",
+    "normalize_event",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "AsyncSink",
+    "read_jsonl",
+    "EventRecorder",
+    "RecorderHooks",
+    "use_recorder",
+    "current_recorder",
 ]
