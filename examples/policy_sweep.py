@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Sweep scheduling policies like loads: JABA-SD vs proportional fair.
+
+The registry makes a policy comparison declarative: schedulers are named
+component specs (``"jaba-sd:objective=J1"``, ``"proportional-fair"``) and the
+campaign engine pairs them on **shared seed groups** — every policy replays
+exactly the same arrival / fading / mobility streams at every load, so row
+differences are pure policy effects (common random numbers), not seed noise.
+
+Run it with ``python examples/policy_sweep.py [--loads 8 16] [--seeds 2]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import paper_scenario
+from repro.experiments.delay_vs_load import run_delay_vs_load
+from repro.registry import describe_components
+
+#: Label -> component spec.  Any registered scheduler name works here, with
+#: optional kwargs after a colon; add an entry to sweep another policy.
+POLICIES = {
+    "JABA-SD(J1)": "jaba-sd:objective=J1",
+    "proportional-fair": "proportional-fair",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loads", type=int, nargs="+", default=[8, 16],
+                        help="data users per cell (default 8 16)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="seed replications per grid point (default 2)")
+    parser.add_argument("--duration", type=float, default=6.0)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    print("registered schedulers:")
+    for name, summary in describe_components()["scheduler"].items():
+        print(f"  {name:20s} {summary}")
+    print()
+
+    scenario = paper_scenario(duration_s=args.duration, warmup_s=1.0)
+    result = run_delay_vs_load(
+        loads=args.loads,
+        scenario=scenario,
+        scheduler_factories=POLICIES,
+        num_seeds=args.seeds,
+        workers=args.workers,
+    )
+    print(result.to_table())
+    print()
+    print("Every policy saw identical replication streams at each load "
+          "(shared seed groups), so the delay gaps above are policy effects.")
+
+
+if __name__ == "__main__":
+    main()

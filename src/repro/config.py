@@ -147,6 +147,11 @@ class RadioConfig:
         check_positive("power_control_tolerance", self.power_control_tolerance)
 
     @property
+    def num_cells(self) -> int:
+        """Number of cells in the hexagonal layout (1 ring = 7 cells)."""
+        return 1 + 3 * self.num_rings * (self.num_rings + 1)
+
+    @property
     def fch_processing_gain(self) -> float:
         """FCH processing gain ``W / Rf``."""
         return self.bandwidth_hz / self.fch_bit_rate_bps
@@ -245,6 +250,11 @@ class SystemConfig:
         Example: ``config.with_overrides(radio=replace(config.radio, num_rings=2))``.
         """
         return replace(self, **sections)
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells in the configured hexagonal layout."""
+        return self.radio.num_cells
 
     @classmethod
     def small_test_system(cls) -> "SystemConfig":

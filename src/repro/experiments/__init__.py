@@ -35,6 +35,7 @@ from repro.experiments.campaign import (
 from repro.experiments.common import (
     ExperimentResult,
     default_scheduler_factories,
+    default_scheduler_specs,
     flag_degraded,
     paper_scenario,
     paper_traffic,
@@ -69,6 +70,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "default_scheduler_factories",
+    "default_scheduler_specs",
     "paper_scenario",
     "paper_traffic",
     "run_phy_throughput",

@@ -48,6 +48,7 @@ reducer that turns the campaign result back into the paper-style table.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import math
 import os
@@ -79,6 +80,7 @@ from repro.utils.stats import confidence_interval
 __all__ = [
     "replication_seed",
     "seed_sequence_to_int",
+    "grid_points",
     "MetricSummary",
     "PointResult",
     "CampaignResult",
@@ -127,6 +129,44 @@ def seed_sequence_to_int(sequence: np.random.SeedSequence) -> int:
     streams (certified by the collision tests in the campaign test suite).
     """
     return int(sequence.generate_state(1, np.uint64)[0])
+
+
+def grid_points(
+    axes: Mapping[str, Sequence[object]],
+    paired: Sequence[str] = ("scheduler",),
+) -> Tuple[List[Dict[str, object]], List[int]]:
+    """Cartesian-product grid with common-random-numbers seed groups.
+
+    ``axes`` maps axis name to its values; the returned points enumerate the
+    full product (in ``itertools.product`` order, first axis slowest).  The
+    returned seed groups make every point that differs only in the ``paired``
+    axes share a group — the CRN design that makes *policy* comparisons
+    paired: with ``paired=("scheduler",)``, every scheduler sees the same
+    replication streams at each load, exactly as the hand-built delay and
+    coverage grids arrange.  Feed both lists to :class:`Campaign`::
+
+        points, groups = grid_points(
+            {"load": [6, 12], "scheduler": ["JABA-SD(J1)", "proportional-fair"]}
+        )
+        Campaign(..., points=points, seed_groups=groups)
+    """
+    names = list(axes)
+    unknown = [name for name in paired if name not in names]
+    if unknown:
+        raise ValueError(
+            f"paired axes {unknown} are not grid axes; axes: {names}"
+        )
+    points: List[Dict[str, object]] = []
+    seed_groups: List[int] = []
+    group_of: Dict[Tuple[str, ...], int] = {}
+    for combo in itertools.product(*(list(axes[name]) for name in names)):
+        point = dict(zip(names, combo))
+        key = tuple(
+            Campaign._stable_repr(point[name]) for name in names if name not in paired
+        )
+        seed_groups.append(group_of.setdefault(key, len(group_of)))
+        points.append(point)
+    return points, seed_groups
 
 
 # ---------------------------------------------------------------------------
@@ -661,8 +701,22 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
         python -m repro.experiments --experiment coverage \\
             --loads 4 8 --schedulers "JABA-SD(J1)" FCFS \\
             --num-drops 2 --replications 1 --workers 2
+
+    Schedulers can also come from the component registry —
+    ``--scheduler proportional-fair --scheduler jaba-sd:objective=J2`` — and a
+    whole scenario from a declarative TOML/JSON spec file via
+    ``--scenario-spec`` (see :mod:`repro.registry`).  ``python -m
+    repro.experiments report [...]`` forwards to the consolidated report CLI
+    (:mod:`repro.experiments.report`).
     """
     import argparse
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        from repro.experiments.report import main as report_main
+
+        return report_main(argv[1:])
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument(
@@ -677,13 +731,26 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="data users per cell swept by the grid")
     parser.add_argument("--schedulers", nargs="+", default=None,
                         help="scheduler labels (e.g. 'JABA-SD(J1)' FCFS)")
+    parser.add_argument("--scheduler", action="append", default=None,
+                        metavar="NAME[:k=v,...]", dest="scheduler_specs",
+                        help="add one registered scheduler to the grid, with "
+                             "optional kwargs (e.g. 'proportional-fair', "
+                             "'jaba-sd:objective=J2,solver=greedy'); "
+                             "repeatable, combines with --schedulers")
+    parser.add_argument("--scenario-spec", default=None, metavar="FILE",
+                        help="dynamic experiments: build the base scenario "
+                             "(and, unless --scheduler/--schedulers override "
+                             "it, the policy) from a declarative TOML/JSON "
+                             "spec file")
     parser.add_argument("--num-drops", type=int, default=None,
                         help="coverage only: Monte-Carlo drops per replication "
                              "(default 30)")
-    parser.add_argument("--duration", type=float, default=6.0,
-                        help="dynamic experiments: simulated seconds per run")
-    parser.add_argument("--warmup", type=float, default=1.0,
-                        help="dynamic experiments: warm-up seconds per run")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="dynamic experiments: simulated seconds per run "
+                             "(default 6.0, or the --scenario-spec value)")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="dynamic experiments: warm-up seconds per run "
+                             "(default 1.0, or the --scenario-spec value)")
     parser.add_argument("--root-seed", type=int, default=None,
                         help="seed-tree root (default: the experiment default)")
     parser.add_argument("--checkpoint", default=None,
@@ -709,10 +776,17 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     # Flags that a given experiment would silently drop are rejected instead.
     if args.experiment != "coverage" and args.num_drops is not None:
         parser.error("--num-drops only applies to --experiment coverage")
-    if args.experiment == "objectives" and (args.loads or args.schedulers):
+    if args.experiment == "objectives" and (
+        args.loads or args.schedulers or args.scheduler_specs
+    ):
         parser.error(
-            "--loads/--schedulers do not apply to --experiment objectives "
-            "(it sweeps the J2 delay-penalty weight at one load)"
+            "--loads/--schedulers/--scheduler do not apply to --experiment "
+            "objectives (it sweeps the J2 delay-penalty weight at one load)"
+        )
+    if args.experiment == "coverage" and args.scenario_spec is not None:
+        parser.error(
+            "--scenario-spec applies to the dynamic experiments "
+            "(delay/capacity/objectives); coverage is snapshot-based"
         )
     if args.task_timeout is not None and args.executor != "resilient":
         parser.error("--task-timeout requires --executor resilient")
@@ -727,15 +801,48 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     elif args.executor is not None:
         executor = args.executor
 
+    from dataclasses import replace as dc_replace
+
     from repro.experiments.capacity import run_capacity
-    from repro.experiments.common import paper_scenario
+    from repro.experiments.common import paper_scenario, scheduler_from_spec
     from repro.experiments.coverage import run_coverage
     from repro.experiments.delay_vs_load import run_delay_vs_load
     from repro.experiments.objectives_tradeoff import run_objectives_tradeoff
+    from repro.registry import RegistryError, build_scenario, load_scenario_spec
 
+    # Every scheduler spec (legacy label or registered name with kwargs) is
+    # resolved once up front, so a typo dies with the registry's
+    # did-you-mean error instead of inside a worker process.
+    labels = list(args.schedulers or []) + list(args.scheduler_specs or [])
     factories = None
-    if args.schedulers:
-        factories = {label: label for label in args.schedulers}
+    if labels:
+        for label in labels:
+            try:
+                scheduler_from_spec(label)
+            except (RegistryError, ValueError) as exc:
+                parser.error(str(exc))
+        factories = {label: label for label in labels}
+
+    spec_scenario = None
+    spec_scheduler_section = None
+    if args.scenario_spec is not None:
+        try:
+            built = build_scenario(load_scenario_spec(args.scenario_spec))
+        except (OSError, RegistryError, ValueError) as exc:
+            parser.error(f"--scenario-spec {args.scenario_spec}: {exc}")
+        spec_scenario = built.scenario
+        if "scheduler" in built.spec:
+            spec_scheduler_section = built.scheduler_section
+    if factories is None and spec_scheduler_section is not None:
+        # The spec names a policy: sweep just that one unless the command
+        # line adds more.
+        name = spec_scheduler_section["name"]
+        kwargs = {k: v for k, v in spec_scheduler_section.items() if k != "name"}
+        label = name if not kwargs else (
+            name + ":" + ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+        )
+        factories = {label: spec_scheduler_section}
+
     common = dict(
         workers=args.workers,
         checkpoint_path=args.checkpoint,
@@ -754,7 +861,17 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
             kwargs["seed"] = args.root_seed
         result = run_coverage(**kwargs)
     else:
-        scenario = paper_scenario(duration_s=args.duration, warmup_s=args.warmup)
+        if spec_scenario is not None:
+            scenario = spec_scenario
+            if args.duration is not None:
+                scenario = dc_replace(scenario, duration_s=args.duration)
+            if args.warmup is not None:
+                scenario = dc_replace(scenario, warmup_s=args.warmup)
+        else:
+            scenario = paper_scenario(
+                duration_s=args.duration if args.duration is not None else 6.0,
+                warmup_s=args.warmup if args.warmup is not None else 1.0,
+            )
         if args.root_seed is not None:
             scenario = scenario.with_seed(args.root_seed)
         if args.experiment == "delay":

@@ -2,22 +2,21 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro import registry as registry_module
 from repro.config import SystemConfig
-from repro.mac.schedulers import (
-    BurstScheduler,
-    EqualShareScheduler,
-    FcfsScheduler,
-    JabaSdScheduler,
-)
+from repro.mac.schedulers import BurstScheduler
+from repro.registry import parse_component_spec
 from repro.simulation.scenario import MobilityConfig, ScenarioConfig, TrafficConfig
 from repro.utils.tables import format_records
 
 __all__ = [
     "ExperimentResult",
     "flag_degraded",
+    "default_scheduler_specs",
     "default_scheduler_factories",
     "scheduler_from_spec",
     "paper_traffic",
@@ -26,11 +25,25 @@ __all__ = [
 
 SchedulerFactory = Callable[[], BurstScheduler]
 
-#: A scheduler may be specified either as a factory callable or as one of the
-#: labels of :func:`default_scheduler_factories`.  Label specs are what the
-#: campaign engine ships to worker processes: a plain string pickles, a
-#: locally defined factory does not.
-SchedulerSpec = Union[str, SchedulerFactory]
+#: A scheduler may be specified as a factory callable, a ``{"name": ...,
+#: **kwargs}`` mapping over the component registry, a registered name with
+#: optional inline kwargs (``"proportional-fair"``,
+#: ``"jaba-sd:objective=J2"``) or one of the legacy evaluation labels
+#: (``"JABA-SD(J1)"``, ``"FCFS"``, ...).  String and mapping specs are what
+#: the campaign engine ships to worker processes: they pickle, a locally
+#: defined factory does not.
+SchedulerSpec = Union[str, Mapping[str, object], SchedulerFactory]
+
+#: The evaluation's historic scheduler labels, mapped onto registry specs.
+#: These labels appear in campaign grids, checkpoints and result tables, so
+#: they stay first-class spec spellings.
+_LEGACY_LABEL_SPECS: Dict[str, Dict[str, object]] = {
+    "JABA-SD(J1)": {"name": "jaba-sd", "objective": "J1"},
+    "JABA-SD(J2)": {"name": "jaba-sd", "objective": "J2"},
+    "JABA-SD(J1/greedy)": {"name": "jaba-sd", "objective": "J1", "solver": "greedy"},
+    "FCFS": {"name": "fcfs"},
+    "EqualShare": {"name": "equal-share"},
+}
 
 
 @dataclass
@@ -94,41 +107,92 @@ def flag_degraded(result: ExperimentResult, campaign_result) -> ExperimentResult
     return result
 
 
+def default_scheduler_specs(include_greedy: bool = False) -> Dict[str, str]:
+    """The scheduling policies compared throughout the evaluation.
+
+    JABA-SD under both objectives plus the two baselines named by the paper
+    (the greedy JABA-SD variant can be added for the ablation experiments),
+    as a ``label -> spec`` mapping ready for a campaign's scheduler axis.
+    The labels double as the specs: every legacy evaluation label resolves
+    through the component registry in :func:`scheduler_from_spec`.
+    """
+    labels = ["JABA-SD(J1)", "JABA-SD(J2)", "FCFS", "EqualShare"]
+    if include_greedy:
+        labels.append("JABA-SD(J1/greedy)")
+    return {label: label for label in labels}
+
+
 def default_scheduler_factories(
     include_greedy: bool = False,
 ) -> Dict[str, SchedulerFactory]:
-    """The scheduling policies compared throughout the evaluation.
+    """Deprecated: the old literal factory dict, now a registry shim.
 
-    JABA-SD under both objectives plus the two baselines named by the paper;
-    the greedy JABA-SD variant can be added for the ablation experiments.
+    .. deprecated::
+        Use :func:`default_scheduler_specs` for campaign axes, or
+        :func:`repro.registry.create`\\ ``("scheduler", name, ...)`` to build
+        one policy.  This shim forwards to the component registry and will be
+        removed once external callers have migrated.
     """
-    factories: Dict[str, SchedulerFactory] = {
-        "JABA-SD(J1)": lambda: JabaSdScheduler("J1"),
-        "JABA-SD(J2)": lambda: JabaSdScheduler("J2"),
-        "FCFS": FcfsScheduler,
-        "EqualShare": EqualShareScheduler,
+    warnings.warn(
+        "default_scheduler_factories() is deprecated; use "
+        "default_scheduler_specs() for campaign scheduler axes or "
+        "repro.registry.create('scheduler', name, ...) to instantiate a "
+        "policy from the component registry",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+    def factory_for(label: str) -> SchedulerFactory:
+        return lambda: scheduler_from_spec(label)
+
+    return {
+        label: factory_for(label)
+        for label in default_scheduler_specs(include_greedy=include_greedy)
     }
-    if include_greedy:
-        factories["JABA-SD(J1/greedy)"] = lambda: JabaSdScheduler("J1", solver="greedy")
-    return factories
 
 
 def scheduler_from_spec(spec: SchedulerSpec) -> BurstScheduler:
-    """Instantiate a scheduler from a factory callable or a registry label.
+    """Instantiate a scheduler from any supported spec spelling.
 
-    Campaign replication runners execute in worker processes, so their params
-    carry scheduler *labels* whenever the default registry is used; custom
-    factory callables are still accepted (they just need to be picklable for
-    ``workers > 1``).
+    Accepted forms (all but the callable pickle, which is what campaign
+    runners executing in worker processes need):
+
+    * a factory callable — called with no arguments;
+    * a ``{"name": <registered name>, **kwargs}`` mapping (the scheduler
+      section of a scenario spec, see :func:`repro.registry.build_scenario`);
+    * a registered name with optional inline kwargs —
+      ``"proportional-fair"``, ``"jaba-sd:objective=J2,solver=greedy"``;
+    * a legacy evaluation label — ``"JABA-SD(J1)"``, ``"FCFS"``, ... (kept
+      so existing campaign grids, checkpoints and tables stay valid).
+
+    Unknown names raise :class:`repro.registry.UnknownComponentError` (a
+    ``KeyError`` subclass) listing the registered alternatives.
     """
     if callable(spec):
         return spec()
-    factories = default_scheduler_factories(include_greedy=True)
-    if spec not in factories:
-        raise KeyError(
-            f"unknown scheduler label {spec!r}; known labels: {sorted(factories)}"
-        )
-    return factories[spec]()
+    if isinstance(spec, Mapping):
+        section = dict(spec)
+        try:
+            name = section.pop("name")
+        except KeyError:
+            raise registry_module.SpecError(
+                f"scheduler spec mapping needs a 'name' entry, got {spec!r}"
+            ) from None
+        return registry_module.create("scheduler", str(name), **section)
+    label = str(spec)
+    legacy = _LEGACY_LABEL_SPECS.get(label)
+    if legacy is not None:
+        section = dict(legacy)
+        return registry_module.create("scheduler", section.pop("name"), **section)
+    name, kwargs = parse_component_spec(label)
+    try:
+        return registry_module.create("scheduler", name, **kwargs)
+    except registry_module.UnknownComponentError:
+        raise registry_module.UnknownComponentError(
+            f"unknown scheduler spec {label!r}; registered names: "
+            f"{registry_module.component_names('scheduler')}, legacy labels: "
+            f"{sorted(_LEGACY_LABEL_SPECS)}"
+        ) from None
 
 
 def paper_traffic() -> TrafficConfig:

@@ -32,7 +32,7 @@ from repro.experiments.campaign import Campaign, CampaignResult
 from repro.experiments.common import (
     ExperimentResult,
     SchedulerSpec,
-    default_scheduler_factories,
+    default_scheduler_specs,
     flag_degraded,
     scheduler_from_spec,
 )
@@ -90,9 +90,7 @@ def build_coverage_campaign(
     config = config if config is not None else SystemConfig()
     if scheduler_factories is None:
         # Label specs: pickle-friendly, resolved inside the workers.
-        specs: Mapping[str, SchedulerSpec] = {
-            label: label for label in default_scheduler_factories()
-        }
+        specs: Mapping[str, SchedulerSpec] = default_scheduler_specs()
     else:
         specs = dict(scheduler_factories)
 

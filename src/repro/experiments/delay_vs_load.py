@@ -37,7 +37,7 @@ from repro.experiments.campaign import (
 from repro.experiments.common import (
     ExperimentResult,
     SchedulerSpec,
-    default_scheduler_factories,
+    default_scheduler_specs,
     flag_degraded,
     paper_scenario,
     scheduler_from_spec,
@@ -95,9 +95,7 @@ def build_delay_campaign(
     loads = list(loads) if loads is not None else [6, 12, 18, 24]
     scenario = scenario if scenario is not None else paper_scenario()
     if scheduler_factories is None:
-        specs: Mapping[str, SchedulerSpec] = {
-            label: label for label in default_scheduler_factories()
-        }
+        specs: Mapping[str, SchedulerSpec] = default_scheduler_specs()
     else:
         specs = dict(scheduler_factories)
 

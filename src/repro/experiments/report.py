@@ -33,19 +33,29 @@ __all__ = ["full_report", "quick_report", "main"]
 
 
 def full_report(
-    workers: int = 1, executor=None
+    workers: int = 1, executor=None, scheduler_factories=None
 ) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
-    """Run every experiment at the scale recorded in EXPERIMENTS.md."""
+    """Run every experiment at the scale recorded in EXPERIMENTS.md.
+
+    ``scheduler_factories`` (a label -> spec mapping, see
+    :func:`repro.experiments.common.scheduler_from_spec`) replaces the
+    default policy comparison in every scheduler-swept experiment — e.g.
+    ``{"proportional-fair": "proportional-fair"}`` reports just that policy.
+    """
     return [
         run_phy_throughput(monte_carlo_samples=100_000),
         run_delay_vs_load(loads=[6, 12, 18, 24], num_seeds=3, workers=workers,
-                          executor=executor),
+                          executor=executor,
+                          scheduler_factories=scheduler_factories),
         run_admission_statistics(load=18, num_seeds=3, workers=workers,
-                                 executor=executor),
+                                 executor=executor,
+                                 scheduler_factories=scheduler_factories),
         run_capacity(loads=[6, 12, 18, 24, 30], num_seeds=2, workers=workers,
-                     executor=executor),
+                     executor=executor,
+                     scheduler_factories=scheduler_factories),
         run_coverage(loads=[4, 8, 16, 24], num_drops=10, num_replications=3,
-                     workers=workers, executor=executor),
+                     workers=workers, executor=executor,
+                     scheduler_factories=scheduler_factories),
         run_objectives_tradeoff(load=18, num_seeds=2, workers=workers,
                                 executor=executor),
         run_solver_ablation(request_counts=[2, 4, 8, 12, 16], instances_per_count=5),
@@ -54,7 +64,7 @@ def full_report(
 
 
 def quick_report(
-    workers: int = 1, executor=None
+    workers: int = 1, executor=None, scheduler_factories=None
 ) -> List[ExperimentResult]:  # pragma: no cover - CLI scale
     """A reduced-size pass of every experiment (minutes instead of hours)."""
     from repro.experiments.common import paper_scenario
@@ -63,11 +73,14 @@ def quick_report(
     return [
         run_phy_throughput(),
         run_delay_vs_load(loads=[8, 16], scenario=small_scenario, num_seeds=2,
-                          workers=workers, executor=executor),
+                          workers=workers, executor=executor,
+                          scheduler_factories=scheduler_factories),
         run_capacity(loads=[8, 16], scenario=small_scenario, delay_target_s=1.0,
-                     workers=workers, executor=executor),
+                     workers=workers, executor=executor,
+                     scheduler_factories=scheduler_factories),
         run_coverage(loads=[8, 16], num_drops=3, num_replications=2,
-                     workers=workers, executor=executor),
+                     workers=workers, executor=executor,
+                     scheduler_factories=scheduler_factories),
         run_objectives_tradeoff(penalty_scales=[0.0, 2.0], load=16,
                                 scenario=small_scenario, workers=workers,
                                 executor=executor),
@@ -86,12 +99,30 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="campaign execution back-end ('resilient' adds "
                              "retries, timeouts and straggler re-issue; "
                              "degraded cells are flagged in the tables)")
+    parser.add_argument("--scheduler", action="append", default=None,
+                        metavar="NAME[:k=v,...]", dest="scheduler_specs",
+                        help="restrict the scheduler-swept experiments to "
+                             "these policies (registered names with optional "
+                             "kwargs, or legacy labels); repeatable")
     args = parser.parse_args(argv)
+    factories = None
+    if args.scheduler_specs:
+        from repro.experiments.common import scheduler_from_spec
+        from repro.registry import RegistryError
+
+        for label in args.scheduler_specs:
+            try:
+                scheduler_from_spec(label)
+            except (RegistryError, ValueError) as exc:
+                parser.error(str(exc))
+        factories = {label: label for label in args.scheduler_specs}
     started = time.time()
     results = (
-        quick_report(args.workers, executor=args.executor)
+        quick_report(args.workers, executor=args.executor,
+                     scheduler_factories=factories)
         if args.quick
-        else full_report(args.workers, executor=args.executor)
+        else full_report(args.workers, executor=args.executor,
+                         scheduler_factories=factories)
     )
     for result in results:
         print(result.to_table())

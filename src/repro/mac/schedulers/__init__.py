@@ -11,6 +11,16 @@
   equal sharing between concurrent requests ([8]).
 * :class:`~repro.mac.schedulers.round_robin.RoundRobinScheduler` — an extra
   non-paper baseline useful for sanity checks (rotating FCFS start index).
+* :class:`~repro.mac.schedulers.proportional_fair.ProportionalFairScheduler`
+  — classic PF: serve in delta_rho / EMA-throughput priority order.
+* :class:`~repro.mac.schedulers.max_min.MaxMinFairScheduler` — max-min fair
+  allocation by integer progressive filling.
+
+Every policy registers itself in :mod:`repro.registry` under the
+``"scheduler"`` kind (``jaba-sd``, ``fcfs``, ``equal-share``,
+``round-robin``, ``jaba-td``, ``proportional-fair``, ``max-min``), so a new
+policy is one file with one class and one ``@register`` decorator — nothing
+here or in the experiment harness needs editing beyond the import below.
 """
 
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
@@ -19,6 +29,8 @@ from repro.mac.schedulers.fcfs import FcfsScheduler
 from repro.mac.schedulers.equal_share import EqualShareScheduler
 from repro.mac.schedulers.round_robin import RoundRobinScheduler
 from repro.mac.schedulers.temporal import TemporalExtensionScheduler
+from repro.mac.schedulers.proportional_fair import ProportionalFairScheduler
+from repro.mac.schedulers.max_min import MaxMinFairScheduler
 
 __all__ = [
     "BurstScheduler",
@@ -28,4 +40,6 @@ __all__ = [
     "EqualShareScheduler",
     "RoundRobinScheduler",
     "TemporalExtensionScheduler",
+    "ProportionalFairScheduler",
+    "MaxMinFairScheduler",
 ]

@@ -15,10 +15,16 @@ import numpy as np
 
 from repro.mac.objectives import ThroughputObjective
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.registry import register
 
 __all__ = ["EqualShareScheduler"]
 
 
+@register(
+    "scheduler",
+    "equal-share",
+    summary="Equal sharing: largest feasible common ratio for every request",
+)
 class EqualShareScheduler(BurstScheduler):
     """Give every pending request the same (largest feasible) ratio ``m``.
 

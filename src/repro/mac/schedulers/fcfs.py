@@ -16,10 +16,16 @@ import numpy as np
 
 from repro.mac.objectives import ThroughputObjective
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.registry import register
 
 __all__ = ["FcfsScheduler"]
 
 
+@register(
+    "scheduler",
+    "fcfs",
+    summary="cdma2000 baseline: arrival order, each request maximal",
+)
 class FcfsScheduler(BurstScheduler):
     """Serve requests in arrival order, each maximal within the residual region."""
 

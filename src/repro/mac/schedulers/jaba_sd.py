@@ -47,6 +47,7 @@ import numpy as np
 from repro.mac.objectives import DelayAwareObjective, ThroughputObjective
 from repro.mac.requests import LinkDirection
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.registry import register
 from repro.opt import (
     BoundedIntegerProgram,
     IntegerSolution,
@@ -63,6 +64,12 @@ ObjectiveName = Literal["J1", "J2"]
 SolverName = Literal["optimal", "near-optimal", "greedy", "exhaustive"]
 
 
+@register(
+    "scheduler",
+    "jaba-sd",
+    defaults={"objective": "J1"},
+    summary="The paper's jointly adaptive burst admission (spatial dimension)",
+)
 class JabaSdScheduler(BurstScheduler):
     """The jointly adaptive burst admission (spatial dimension) scheduler.
 

@@ -1,0 +1,131 @@
+"""Proportional-fair burst admission (classic PF, not in the paper).
+
+The proportional-fair criterion orders the pending requests by the ratio of
+their *instantaneous* channel quality to their *historical* served throughput:
+``priority_j = delta_rho_j / T_j``, where ``T_j`` is an exponential moving
+average of the throughput the scheduler has granted user ``j``.  A user with
+a momentarily good channel but a long history of service loses priority to a
+user who has been starved — the multi-user-diversity compromise every
+cellular PF scheduler (HDR/1xEV-DO style) makes.
+
+Mapped onto the paper's burst-admission problem: request ``j``'s
+instantaneous rate per resource unit is its relative average VTAOC
+throughput ``delta_rho_j`` (the same channel-adaptive weight JABA-SD
+maximises), the grant is the max-fit spreading-gain ratio inside the
+residual admissible region (the FCFS allocation rule), and only the *order*
+of service is proportional-fair.  The throughput history decays with
+``time_constant_frames``, so long bursts depress their user's priority for
+roughly that many scheduling frames.
+
+Registered as ``scheduler: "proportional-fair"`` — this file is the whole
+policy: one class, one registry entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.mac.objectives import ThroughputObjective
+from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.registry import register
+
+__all__ = ["ProportionalFairScheduler"]
+
+
+@register(
+    "scheduler",
+    "proportional-fair",
+    summary="Serve requests in delta_rho/EMA-throughput priority order (PF)",
+)
+class ProportionalFairScheduler(BurstScheduler):
+    """Max-fit admission in proportional-fair priority order.
+
+    Parameters
+    ----------
+    time_constant_frames:
+        Horizon (in scheduling frames) of the exponential moving average of
+        each user's served throughput.  Larger values remember service
+        longer, making the policy fairer over long windows and less reactive.
+    """
+
+    name = "ProportionalFair"
+
+    def __init__(self, time_constant_frames: int = 64) -> None:
+        if time_constant_frames < 1:
+            raise ValueError("time_constant_frames must be at least 1")
+        self.time_constant_frames = int(time_constant_frames)
+        #: EMA of the served throughput (delta_rho * granted m) per mobile.
+        self._average_throughput: Dict[int, float] = {}
+        self._metric = ThroughputObjective()
+        self.name = f"ProportionalFair(tc={self.time_constant_frames})"
+
+    def reset_history(self) -> None:
+        """Forget the throughput averages (e.g. between simulation runs)."""
+        self._average_throughput.clear()
+
+    def assign(self, problem) -> SchedulingDecision:
+        num_requests = len(problem.requests)
+        if num_requests == 0:
+            return self.empty_decision()
+        assignment = np.zeros(num_requests, dtype=int)
+        matrix = problem.region.matrix
+        remaining = problem.region.bounds.astype(float).copy()
+        delta_rho = np.asarray(problem.delta_rho, dtype=float)
+
+        # PF priority: instantaneous rate over smoothed served throughput.
+        # The floor keeps never-served users at a large-but-finite priority,
+        # ordered among themselves by their channel quality.
+        floor = 1e-6
+        averages = np.array(
+            [
+                self._average_throughput.get(request.mobile_index, 0.0)
+                for request in problem.requests
+            ]
+        )
+        priorities = delta_rho / np.maximum(averages, floor)
+        arrival = np.asarray(
+            [r.arrival_time_s for r in problem.requests], dtype=float
+        )
+        # Descending priority, ties broken by arrival time then queue position
+        # (lexsort keys are least-significant first) — fully deterministic.
+        order = np.lexsort((np.arange(num_requests), arrival, -priorities))
+
+        for idx in order:
+            idx = int(idx)
+            upper = int(problem.upper_bounds[idx])
+            if upper < 1:
+                continue
+            column = matrix[:, idx]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(
+                    column > 0.0, remaining / np.where(column > 0.0, column, 1.0), np.inf
+                )
+            fit = int(min(upper, np.floor(np.min(ratios) + 1e-12))) if ratios.size else upper
+            if fit >= 1:
+                assignment[idx] = fit
+                remaining -= column * fit
+
+        # Update the throughput history of every *requesting* user, granted
+        # or not: a rejected user's average decays toward zero, raising its
+        # priority next frame (the starvation-avoidance half of PF).
+        alpha = 1.0 / self.time_constant_frames
+        for idx, request in enumerate(problem.requests):
+            served = float(delta_rho[idx] * assignment[idx])
+            previous = self._average_throughput.get(request.mobile_index, 0.0)
+            self._average_throughput[request.mobile_index] = (
+                (1.0 - alpha) * previous + alpha * served
+            )
+
+        weights = self._metric.weights(
+            problem.delta_rho,
+            problem.priorities,
+            problem.waiting_times_s,
+            problem.config,
+        )
+        return SchedulingDecision(
+            assignment=assignment,
+            objective_value=float(assignment @ weights),
+            optimal=False,
+        )

@@ -12,10 +12,16 @@ import numpy as np
 
 from repro.mac.objectives import ThroughputObjective
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
+from repro.registry import register
 
 __all__ = ["RoundRobinScheduler"]
 
 
+@register(
+    "scheduler",
+    "round-robin",
+    summary="FCFS with a rotating head-of-line position (sanity baseline)",
+)
 class RoundRobinScheduler(BurstScheduler):
     """FCFS with a rotating head-of-line position."""
 

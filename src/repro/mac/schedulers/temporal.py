@@ -27,10 +27,16 @@ import numpy as np
 
 from repro.mac.schedulers.base import BurstScheduler, SchedulingDecision
 from repro.mac.schedulers.jaba_sd import JabaSdScheduler
+from repro.registry import register
 
 __all__ = ["TemporalExtensionScheduler"]
 
 
+@register(
+    "scheduler",
+    "jaba-td",
+    summary="Temporal extension: defer sub-threshold grants to later frames",
+)
 class TemporalExtensionScheduler(BurstScheduler):
     """Defer-small-grants wrapper adding a temporal dimension to JABA-SD.
 

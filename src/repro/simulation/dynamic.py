@@ -45,6 +45,7 @@ from repro.mac.requests import BurstGrant, BurstRequest, LinkDirection
 from repro.mac.schedulers.base import BurstScheduler
 from repro.mac.states import MacState, MacStateFleet, MacStateMachine
 from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.placement import placement_from_config
 from repro.simulation.scenario import ScenarioConfig
 from repro.traffic.data import DataTrafficFleet, PacketCallDataSource, TruncatedParetoSize
 from repro.traffic.voice import OnOffVoiceSource, VoiceFleet
@@ -141,7 +142,12 @@ class DynamicSystemSimulator:
 
         # -- population --------------------------------------------------------
         # Placement first (one stream, identical in both modes), then the
-        # mobility back-end, then the entity objects.
+        # mobility back-end, then the entity objects.  The placement model is
+        # pluggable (scenario.placement); the default uniform model issues
+        # exactly one layout.random_position_in_cell call per user, so the
+        # placement stream is consumed bit-identically to the historic
+        # hard-wired loop.
+        placement_model = placement_from_config(scenario.placement)
         self.data_user_indices: List[int] = []
         self.voice_user_indices: List[int] = []
         user_classes: List[UserClass] = []
@@ -150,14 +156,14 @@ class DynamicSystemSimulator:
         for cell in range(self.layout.num_cells):
             for _ in range(scenario.num_data_users_per_cell):
                 positions.append(
-                    self.layout.random_position_in_cell(cell, placement_rng)
+                    placement_model.position(self.layout, cell, placement_rng)
                 )
                 user_classes.append(UserClass.DATA)
                 self.data_user_indices.append(index)
                 index += 1
             for _ in range(scenario.num_voice_users_per_cell):
                 positions.append(
-                    self.layout.random_position_in_cell(cell, placement_rng)
+                    placement_model.position(self.layout, cell, placement_rng)
                 )
                 user_classes.append(UserClass.VOICE)
                 self.voice_user_indices.append(index)

@@ -13,7 +13,7 @@ from repro.utils.validation import (
     check_probability,
 )
 
-__all__ = ["TrafficConfig", "MobilityConfig", "ScenarioConfig"]
+__all__ = ["TrafficConfig", "MobilityConfig", "PlacementConfig", "ScenarioConfig"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,37 @@ class MobilityConfig:
 
 
 @dataclass(frozen=True)
+class PlacementConfig:
+    """User-placement model of one scenario.
+
+    ``kind="uniform"`` (the default) drops every user uniformly inside its
+    home cell — the paper's placement, bit-identical to the historic
+    hard-wired behaviour.  ``kind="hotspot"`` concentrates a fraction of the
+    users of the hotspot cell near its base station (see
+    :class:`repro.simulation.placement.HotspotPlacement`); the hotspot
+    parameters are ignored by the uniform model.
+    """
+
+    kind: str = "uniform"
+    #: Probability that a hotspot-cell user is placed inside the hotspot disc.
+    hotspot_fraction: float = 0.5
+    #: Hotspot disc radius as a fraction of the cell radius.
+    hotspot_radius_fraction: float = 0.3
+    #: Index of the cell hosting the hotspot (0 = centre cell).
+    hotspot_cell: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "hotspot"):
+            raise ValueError(
+                f"placement kind must be 'uniform' or 'hotspot', got {self.kind!r}"
+            )
+        check_probability("hotspot_fraction", self.hotspot_fraction)
+        if not 0.0 < self.hotspot_radius_fraction <= 1.0:
+            raise ValueError("hotspot_radius_fraction must lie in (0, 1]")
+        check_non_negative_int("hotspot_cell", self.hotspot_cell)
+
+
+@dataclass(frozen=True)
 class ScenarioConfig:
     """Complete description of one dynamic-simulation run.
 
@@ -81,8 +112,8 @@ class ScenarioConfig:
         Initial transient excluded from the metrics.
     seed:
         Master random seed.
-    traffic / mobility:
-        Traffic-mix and mobility parameters.
+    traffic / mobility / placement:
+        Traffic-mix, mobility and user-placement parameters.
     warm_start_power_control:
         Seed each frame's power-control fixed point with the previous
         frame's solution (see :class:`repro.cdma.network.CdmaNetwork`).
@@ -133,6 +164,7 @@ class ScenarioConfig:
     seed: int = 0
     traffic: TrafficConfig = field(default_factory=TrafficConfig)
     mobility: MobilityConfig = field(default_factory=MobilityConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
     warm_start_power_control: bool = False
     warm_start_solver: bool = False
     power_control_tolerance: Optional[float] = None
@@ -168,16 +200,19 @@ class ScenarioConfig:
         return replace(self, seed=seed)
 
     @property
+    def num_cells(self) -> int:
+        """Number of cells in the scenario's hexagonal layout."""
+        return self.system.num_cells
+
+    @property
     def total_data_users(self) -> int:
         """Total number of data users across all cells."""
-        cells = 1 + 3 * self.system.radio.num_rings * (self.system.radio.num_rings + 1)
-        return self.num_data_users_per_cell * cells
+        return self.num_data_users_per_cell * self.num_cells
 
     @property
     def total_voice_users(self) -> int:
         """Total number of voice users across all cells."""
-        cells = 1 + 3 * self.system.radio.num_rings * (self.system.radio.num_rings + 1)
-        return self.num_voice_users_per_cell * cells
+        return self.num_voice_users_per_cell * self.num_cells
 
     @classmethod
     def fast_test(cls, **overrides) -> "ScenarioConfig":

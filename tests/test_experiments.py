@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments import (
     default_scheduler_factories,
+    default_scheduler_specs,
     paper_scenario,
     paper_traffic,
     run_admission_statistics,
@@ -29,9 +30,15 @@ class TestCommon:
         table = result.to_table()
         assert "X1" in table and "demo" in table
 
-    def test_default_factories(self):
-        factories = default_scheduler_factories(include_greedy=True)
-        assert set(factories) >= {"JABA-SD(J1)", "JABA-SD(J2)", "FCFS", "EqualShare"}
+    def test_default_specs(self):
+        specs = default_scheduler_specs(include_greedy=True)
+        assert set(specs) >= {"JABA-SD(J1)", "JABA-SD(J2)", "FCFS", "EqualShare"}
+
+    def test_default_factories_shim(self):
+        # Deprecated path: still functional, forwards to the registry.
+        with pytest.warns(DeprecationWarning, match="default_scheduler_factories"):
+            factories = default_scheduler_factories(include_greedy=True)
+        assert set(factories) == set(default_scheduler_specs(include_greedy=True))
         for factory in factories.values():
             scheduler = factory()
             assert hasattr(scheduler, "assign")
@@ -60,15 +67,15 @@ class TestPhyThroughputExperiment:
 class TestSnapshotExperiments:
     def test_coverage_experiment(self):
         result = run_coverage(loads=[4], num_drops=2, scheduler_factories={
-            "JABA-SD(J1)": default_scheduler_factories()["JABA-SD(J1)"],
-            "FCFS": default_scheduler_factories()["FCFS"],
+            "JABA-SD(J1)": "JABA-SD(J1)",
+            "FCFS": "FCFS",
         })
         assert len(result.records) == 2
         for record in result.records:
             assert 0.0 <= record["coverage"] <= 1.0
 
     def test_coverage_with_radius_sweep(self):
-        factories = {"JABA-SD(J1)": default_scheduler_factories()["JABA-SD(J1)"]}
+        factories = {"JABA-SD(J1)": "JABA-SD(J1)"}
         result = run_coverage(loads=[4], cell_radii_m=[600.0], num_drops=2,
                               scheduler_factories=factories)
         radii = set(result.column("cell_radius_m"))
@@ -96,8 +103,8 @@ def tiny_scenario():
 class TestDynamicExperiments:
     def test_delay_vs_load(self, tiny_scenario):
         factories = {
-            "JABA-SD(J1)": default_scheduler_factories()["JABA-SD(J1)"],
-            "FCFS": default_scheduler_factories()["FCFS"],
+            "JABA-SD(J1)": "JABA-SD(J1)",
+            "FCFS": "FCFS",
         }
         result = run_delay_vs_load(loads=[3], scenario=tiny_scenario,
                                    scheduler_factories=factories)
@@ -107,13 +114,13 @@ class TestDynamicExperiments:
             assert record["carried_kbps"] > 0.0
 
     def test_admission_statistics(self, tiny_scenario):
-        factories = {"JABA-SD(J1)": default_scheduler_factories()["JABA-SD(J1)"]}
+        factories = {"JABA-SD(J1)": "JABA-SD(J1)"}
         result = run_admission_statistics(load=3, scenario=tiny_scenario,
                                           scheduler_factories=factories)
         assert result.records[0]["mean_granted_m"] >= 1.0
 
     def test_capacity(self, tiny_scenario):
-        factories = {"JABA-SD(J1)": default_scheduler_factories()["JABA-SD(J1)"]}
+        factories = {"JABA-SD(J1)": "JABA-SD(J1)"}
         result = run_capacity(delay_target_s=5.0, loads=[3], scenario=tiny_scenario,
                               scheduler_factories=factories)
         assert result.records[0]["capacity_users_per_cell"] == 3

@@ -13,6 +13,8 @@ from repro.mac.schedulers import (
     EqualShareScheduler,
     FcfsScheduler,
     JabaSdScheduler,
+    MaxMinFairScheduler,
+    ProportionalFairScheduler,
     RoundRobinScheduler,
     TemporalExtensionScheduler,
 )
@@ -70,6 +72,8 @@ ALL_SCHEDULERS = [
     EqualShareScheduler(),
     RoundRobinScheduler(),
     TemporalExtensionScheduler(defer_threshold=2),
+    ProportionalFairScheduler(),
+    MaxMinFairScheduler(),
 ]
 
 
@@ -289,6 +293,75 @@ class TestRoundRobin:
         assert second.assignment[1] == 16 and second.assignment[0] == 0
 
 
+class TestProportionalFair:
+    def test_first_frame_prefers_good_channel_users(self):
+        # With no service history every average is at the floor, so priority
+        # reduces to delta_rho: the better-channel user is served first.
+        problem = make_problem(costs=[[1.0, 1.0]], bounds=[16.0], delta_rho=[2.0, 1.0])
+        decision = ProportionalFairScheduler().assign(problem)
+        assert decision.assignment[0] == 16
+        assert decision.assignment[1] == 0
+
+    def test_starved_user_overtakes_after_repeated_service(self):
+        # Same instance each frame; the repeatedly-served user's throughput
+        # average grows until the starved user's priority overtakes it.
+        scheduler = ProportionalFairScheduler(time_constant_frames=2)
+        problem = make_problem(costs=[[1.0, 1.0]], bounds=[16.0], delta_rho=[2.0, 1.0])
+        winners = []
+        for _ in range(6):
+            decision = scheduler.assign(problem)
+            winners.append(int(np.argmax(decision.assignment)))
+        assert winners[0] == 0  # best channel wins the first frame
+        assert 1 in winners  # ...but the other user is eventually served
+
+    def test_reset_history_restores_first_frame_behaviour(self):
+        scheduler = ProportionalFairScheduler(time_constant_frames=2)
+        problem = make_problem(costs=[[1.0, 1.0]], bounds=[16.0], delta_rho=[2.0, 1.0])
+        first = scheduler.assign(problem)
+        for _ in range(5):
+            scheduler.assign(problem)
+        scheduler.reset_history()
+        again = scheduler.assign(problem)
+        assert np.array_equal(first.assignment, again.assignment)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProportionalFairScheduler(time_constant_frames=0)
+
+
+class TestMaxMinFair:
+    def test_symmetric_instance_splits_evenly(self):
+        problem = make_problem(costs=[[1.0, 1.0, 1.0, 1.0]], bounds=[8.0], upper=16)
+        decision = MaxMinFairScheduler().assign(problem)
+        assert decision.assignment.sum() == 8
+        assert decision.assignment.max() - decision.assignment.min() <= 1
+
+    def test_no_starvation_where_fcfs_starves(self):
+        # FCFS gives everything to the head-of-line request; max-min serves
+        # both users, lifting the minimum allocation.
+        problem = make_problem(costs=[[1.0, 1.0]], bounds=[16.0],
+                               arrival_times=[1.0, 5.0])
+        fcfs = FcfsScheduler().assign(problem)
+        maxmin = MaxMinFairScheduler().assign(problem)
+        assert fcfs.assignment.min() == 0
+        assert maxmin.assignment.min() > fcfs.assignment.min()
+
+    def test_expensive_user_freezes_cheap_user_keeps_filling(self):
+        # User 0 costs 4x as much: it binds early while user 1 keeps growing.
+        problem = make_problem(costs=[[4.0, 1.0]], bounds=[16.0], upper=16)
+        decision = MaxMinFairScheduler().assign(problem)
+        assert problem.region.admits(decision.assignment)
+        assert decision.assignment[1] >= decision.assignment[0]
+        assert decision.assignment.sum() > 2  # slack reinvested, not wasted
+
+    def test_respects_individual_upper_bounds(self):
+        problem = make_problem(costs=[[1.0, 1.0]], bounds=[20.0], upper=16)
+        problem.upper_bounds = np.array([2, 16])
+        decision = MaxMinFairScheduler().assign(problem)
+        assert decision.assignment[0] <= 2
+        assert problem.region.admits(decision.assignment)
+
+
 class TestTemporalExtension:
     def test_small_grants_are_deferred_and_capacity_reinvested(self):
         # Two requests; capacity only allows a small grant for the expensive one.
@@ -341,7 +414,8 @@ def test_property_all_schedulers_feasible(num_requests, seed):
     problem = make_problem(costs=costs, bounds=bounds,
                            delta_rho=rng.uniform(0.1, 3.0, num_requests))
     for scheduler in (JabaSdScheduler("J1"), FcfsScheduler(), EqualShareScheduler(),
-                      TemporalExtensionScheduler()):
+                      TemporalExtensionScheduler(), ProportionalFairScheduler(),
+                      MaxMinFairScheduler()):
         decision = scheduler.assign(problem)
         assert problem.region.admits(decision.assignment)
         assert np.all(decision.assignment <= problem.upper_bounds)
