@@ -192,6 +192,84 @@ def run_resilient_overhead(smoke: bool, replications: int) -> Dict:
 
 
 # --------------------------------------------------------------------------
+# swarm-executor no-fault overhead
+# --------------------------------------------------------------------------
+#: Regression budget for the lease protocol on a fault-free workload: the
+#: file-queue transport (atomic message files, heartbeat scans, lease
+#: bookkeeping) may cost at most this fraction of extra wall-clock over the
+#: plain pool.  Deliberately looser than the resilient budget — the swarm
+#: pays real filesystem I/O per task, not just in-process bookkeeping.
+MAX_SWARM_OVERHEAD_FRACTION = 0.10
+
+
+def run_swarm_overhead(smoke: bool, replications: int) -> Dict:
+    """Time the same fault-free coverage sweep under pool vs. swarm.
+
+    Best-of-``repeats`` timing per back-end plus the bit-identical aggregate
+    parity check — the swarm's at-least-once delivery and dedupe must be
+    invisible in both the numbers and (within budget) the wall-clock.
+    """
+    from repro.experiments.executors import PoolExecutor
+    from repro.experiments.swarm import SwarmExecutor
+
+    workers = 2
+    repeats = 3 if smoke else 2
+    # The default smoke grid finishes in ~0.1 s, where the swarm's fixed
+    # setup (spawn two processes, publish the job file) and timer noise
+    # swamp the per-task protocol cost the budget is about.  Measure on a
+    # chunkier sweep (~0.5 s) so the fraction is meaningful.
+    replications = max(replications, 12) if smoke else replications
+
+    def overhead_campaign() -> Campaign:
+        if not smoke:
+            return coverage_campaign(smoke, replications)
+        return build_coverage_campaign(
+            loads=[2, 3],
+            num_drops=2,
+            config=SystemConfig.small_test_system(),
+            scheduler_factories={"JABA-SD(J1)": "JABA-SD(J1)", "FCFS": "FCFS"},
+            num_replications=replications,
+            seed=17,
+        )
+
+    timings: Dict[str, float] = {}
+    aggregates: Dict[str, List] = {}
+    for name in ("pool", "swarm"):
+        best = float("inf")
+        for _ in range(repeats):
+            campaign = overhead_campaign()
+            executor = (
+                PoolExecutor(workers=workers)
+                if name == "pool"
+                else SwarmExecutor(workers=workers)
+            )
+            started = time.perf_counter()
+            outcome = campaign.run(workers=workers, executor=executor)
+            best = min(best, time.perf_counter() - started)
+        timings[name] = best
+        aggregates[name] = [
+            sorted(point.replications.items()) for point in outcome.points
+        ]
+        print(f"no-fault overhead, executor={name}: best of {repeats} = {best:.3f} s")
+    overhead = timings["swarm"] / timings["pool"] - 1.0
+    parity = aggregates["pool"] == aggregates["swarm"]
+    print(
+        f"swarm no-fault overhead: {overhead * 100:+.2f}% "
+        f"(budget {MAX_SWARM_OVERHEAD_FRACTION * 100:.0f}%), parity: {parity}"
+    )
+    return {
+        "workers": workers,
+        "repeats": repeats,
+        "replications_per_point": replications,
+        "pool_elapsed_s": round(timings["pool"], 4),
+        "swarm_elapsed_s": round(timings["swarm"], 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_SWARM_OVERHEAD_FRACTION,
+        "parity_bit_identical": parity,
+    }
+
+
+# --------------------------------------------------------------------------
 # J = 1e5 fleet-path campaign point
 # --------------------------------------------------------------------------
 def fleet_point_replication(params: Mapping[str, object], seed) -> dict:
@@ -290,6 +368,7 @@ def main(argv=None) -> int:
             worker_counts, args.smoke, replications
         ),
         "resilient_overhead": run_resilient_overhead(args.smoke, replications),
+        "swarm_overhead": run_swarm_overhead(args.smoke, replications),
     }
     if not args.skip_fleet and not args.smoke:
         report["fleet_point"] = run_fleet_point(

@@ -46,7 +46,14 @@ from repro.experiments.executors import (
     ResilientExecutor,
     SerialExecutor,
 )
-from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.faults import (
+    FaultPlan,
+    FaultSpec,
+    MessageFaultPlan,
+    MessageFaults,
+)
+from repro.experiments.journal import CheckpointJournal
+from repro.experiments.swarm import SwarmExecutor
 from repro.experiments.phy_throughput import run_phy_throughput
 from repro.experiments.delay_vs_load import run_delay_vs_load, run_admission_statistics
 from repro.experiments.capacity import run_capacity
@@ -67,8 +74,12 @@ __all__ = [
     "SerialExecutor",
     "PoolExecutor",
     "ResilientExecutor",
+    "SwarmExecutor",
+    "CheckpointJournal",
     "FaultPlan",
     "FaultSpec",
+    "MessageFaults",
+    "MessageFaultPlan",
     "default_scheduler_factories",
     "default_scheduler_specs",
     "paper_scenario",

@@ -68,6 +68,8 @@ from repro.experiments.executors import (
     SerialExecutor,
     TaskSpec,
 )
+from repro.experiments.journal import CheckpointJournal, _atomic_write
+from repro.experiments.swarm import SwarmExecutor
 from repro.utils.hooks import SimHooks, resolve_hooks
 from repro.utils.recorder import (
     EventRecorder,
@@ -478,10 +480,11 @@ class Campaign:
             "fingerprint": fingerprint,
             "completed": completed,
         }
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
+        # fsync before the atomic rename: without it a power loss can
+        # publish an empty/partial file from the page cache, which the
+        # corrupt-checkpoint quarantine would then discard — losing
+        # *completed* work.
+        _atomic_write(path, json.dumps(payload))
 
     # -- execution ---------------------------------------------------------------
     def tasks(self) -> List[Tuple[int, int]]:
@@ -497,19 +500,31 @@ class Campaign:
     ) -> Executor:
         """Turn an executor spec (name, instance or ``None``) into an instance."""
         if executor is None:
-            return SerialExecutor() if workers == 1 else PoolExecutor(workers)
-        if isinstance(executor, str):
-            if executor == "serial":
-                return SerialExecutor()
-            if executor == "pool":
-                return PoolExecutor(max(workers, 1))
-            if executor == "resilient":
-                return ResilientExecutor(workers=max(workers, 1))
-            raise ValueError(
-                f"unknown executor {executor!r}; expected 'serial', 'pool', "
-                f"'resilient' or an Executor instance"
+            backend: Executor = (
+                SerialExecutor() if workers == 1 else PoolExecutor(workers)
             )
-        return executor
+        elif isinstance(executor, str):
+            if executor == "serial":
+                backend = SerialExecutor()
+            elif executor == "pool":
+                backend = PoolExecutor(max(workers, 1))
+            elif executor == "resilient":
+                backend = ResilientExecutor(workers=max(workers, 1))
+            elif executor == "swarm":
+                backend = SwarmExecutor(workers=max(workers, 1))
+            else:
+                raise ValueError(
+                    f"unknown executor {executor!r}; expected 'serial', 'pool', "
+                    f"'resilient', 'swarm' or an Executor instance"
+                )
+        else:
+            backend = executor
+        # backoff_seed=None means "derive from the campaign root seed":
+        # retry jitter stays reproducible per campaign while distinct
+        # campaigns de-synchronise their retry storms.
+        if getattr(backend, "backoff_seed", 0) is None:
+            backend.backoff_seed = self.root_seed
+        return backend
 
     def run(
         self,
@@ -530,19 +545,25 @@ class Campaign:
             requirements).  Any value yields bit-identical aggregates for a
             fixed root seed — sharding only changes wall-clock time.
         checkpoint_path:
-            JSON file updated after every completed replication; an existing
-            checkpoint of the same campaign is resumed (completed
-            replications are loaded, not recomputed) and a corrupt one is
-            quarantined to ``<path>.corrupt`` instead of crashing.
+            Checkpoint location.  Every completed replication is durably
+            appended (fsync'd) to the write-ahead journal ``<path>.wal``,
+            which is periodically — and on exit — compacted into the
+            historic JSON format at ``<path>``; an existing checkpoint of
+            the same campaign is resumed (completed replications are loaded
+            from JSON ∪ WAL, not recomputed), a torn WAL tail from a
+            mid-append kill is dropped, and a corrupt JSON is quarantined to
+            ``<path>.corrupt`` instead of crashing.
         progress:
             Optional ``progress(done, total)`` callback.
         executor:
             Execution back-end: an :class:`~repro.experiments.executors.
             Executor` instance or one of the names ``"serial"``, ``"pool"``,
-            ``"resilient"``.  ``None`` keeps the historic behaviour
-            (in-process at ``workers=1``, pool above).  All executors produce
-            bit-identical aggregates; only the resilient one survives worker
-            crashes, hangs and poisoned tasks.
+            ``"resilient"``, ``"swarm"``.  ``None`` keeps the historic
+            behaviour (in-process at ``workers=1``, pool above).  All
+            executors produce bit-identical aggregates; the resilient one
+            survives worker crashes, hangs and poisoned tasks, and the swarm
+            one extends that over independently spawned (or remote) worker
+            processes with leases, heartbeats and work stealing.
         fault_plan:
             Optional :class:`~repro.experiments.faults.FaultPlan` injected
             into the task payloads (chaos testing).
@@ -588,8 +609,25 @@ class Campaign:
         # per checkpoint write.
         fingerprint = self.fingerprint() if checkpoint_path else ""
         completed: Dict[str, MetricDict] = {}
+        journal: Optional[CheckpointJournal] = None
         if checkpoint_path:
-            completed = self._load_checkpoint(checkpoint_path)
+            # Durability is journal-shaped: each completed replication is one
+            # fsync'd O(1) append to <path>.wal; the historic JSON format is
+            # produced by compaction (periodic and on close), so a
+            # coordinator killed at any byte offset resumes without losing
+            # completed work — and without rewriting the whole checkpoint
+            # per result.
+            journal = CheckpointJournal(
+                checkpoint_path,
+                fingerprint,
+                meta={
+                    "campaign": self.name,
+                    "root_seed": self.root_seed,
+                    "replications": self.replications,
+                    "num_points": len(self.points),
+                },
+            )
+            completed = journal.load()
         reused = len(completed)
 
         tasks = [
@@ -618,8 +656,8 @@ class Campaign:
             nonlocal done
             completed[key] = metrics
             done += 1
-            if checkpoint_path:
-                self._write_checkpoint(checkpoint_path, completed, fingerprint)
+            if journal is not None:
+                journal.append(key, metrics)
             if progress is not None:
                 progress(done, total)
 
@@ -654,11 +692,11 @@ class Campaign:
             # Prompt worker teardown (idempotent; crucial on the interrupt
             # path, where the executor's generator may be left suspended).
             backend.stop()
-            if checkpoint_path and completed:
-                # Completed work is checkpointed per result already; this
-                # final flush only guards against a write interrupted at the
-                # exact moment a signal arrived.
-                self._write_checkpoint(checkpoint_path, completed, fingerprint)
+            if journal is not None:
+                # Compacts the WAL into the historic JSON checkpoint layout
+                # and removes the (now redundant) WAL — on the interrupt path
+                # too, so SIGINT/SIGTERM leave a complete JSON behind.
+                journal.close()
             if campaign_recorder is not None:
                 campaign_recorder.record(
                     "campaign_end",
@@ -755,18 +793,33 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="seed-tree root (default: the experiment default)")
     parser.add_argument("--checkpoint", default=None,
                         help="JSON checkpoint path (resumes if it exists)")
-    parser.add_argument("--executor", choices=["serial", "pool", "resilient"],
+    parser.add_argument("--executor",
+                        choices=["serial", "pool", "resilient", "swarm"],
                         default=None,
                         help="execution back-end (default: serial at "
                              "--workers 1, pool above; 'resilient' adds "
-                             "retries, timeouts and straggler re-issue)")
+                             "retries, timeouts and straggler re-issue; "
+                             "'swarm' runs a lease-based worker swarm that "
+                             "remote workers can join)")
     parser.add_argument("--task-timeout", type=float, default=None,
                         help="resilient executor only: seconds before a "
                              "replication is killed and re-issued")
     parser.add_argument("--max-retries", type=int, default=2,
-                        help="resilient executor only: failed attempts "
+                        help="resilient/swarm executors: failed attempts "
                              "re-issued before a task is quarantined "
                              "(default 2)")
+    parser.add_argument("--num-workers", type=int, default=None,
+                        help="swarm executor only: worker processes the "
+                             "coordinator spawns (default: --workers; 0 with "
+                             "--swarm-dir waits for external workers)")
+    parser.add_argument("--lease-timeout", type=float, default=None,
+                        help="swarm executor only: seconds without heartbeat "
+                             "or result before a lease is reclaimed and its "
+                             "tasks re-issued (default 15)")
+    parser.add_argument("--swarm-dir", default=None,
+                        help="swarm executor only: shared protocol directory "
+                             "so workers on other machines can attach via "
+                             "'python -m repro.experiments.worker'")
     parser.add_argument("--trace-dir", default=None,
                         help="record structured telemetry (campaign.jsonl + "
                              "one JSONL trace per replication) under this "
@@ -790,12 +843,32 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
         )
     if args.task_timeout is not None and args.executor != "resilient":
         parser.error("--task-timeout requires --executor resilient")
+    for flag, value in (
+        ("--num-workers", args.num_workers),
+        ("--lease-timeout", args.lease_timeout),
+        ("--swarm-dir", args.swarm_dir),
+    ):
+        if value is not None and args.executor != "swarm":
+            parser.error(f"{flag} requires --executor swarm")
 
     executor = None
     if args.executor == "resilient":
         executor = ResilientExecutor(
             workers=max(args.workers, 1),
             task_timeout_s=args.task_timeout,
+            max_retries=args.max_retries,
+        )
+    elif args.executor == "swarm":
+        executor = SwarmExecutor(
+            workers=(
+                args.num_workers
+                if args.num_workers is not None
+                else max(args.workers, 1)
+            ),
+            swarm_dir=args.swarm_dir,
+            lease_timeout_s=(
+                args.lease_timeout if args.lease_timeout is not None else 15.0
+            ),
             max_retries=args.max_retries,
         )
     elif args.executor is not None:

@@ -59,10 +59,37 @@ __all__ = [
     "SerialExecutor",
     "PoolExecutor",
     "ResilientExecutor",
+    "retry_backoff_delay",
 ]
 
 MetricDict = Dict[str, float]
 ExecuteFn = Callable[[object], MetricDict]
+
+
+def retry_backoff_delay(
+    task_index: int,
+    retry: int,
+    *,
+    base_s: float,
+    max_s: float,
+    jitter: float,
+    seed: int,
+) -> float:
+    """Backoff before retry ``retry`` (1-based) of task ``task_index``.
+
+    Exponential in the retry number with a deterministic jitter stretch:
+    the jitter RNG is seeded from ``(seed, task_index, retry)`` only, so the
+    schedule is reproducible across runs and processes, while distinct
+    tasks (and distinct campaign root seeds, which the campaign engine
+    threads through as ``seed``) de-synchronise — a retry storm cannot
+    re-align itself onto one instant.  Shared by the resilient and swarm
+    executors.
+    """
+    if retry < 1:
+        raise ValueError("retry is 1-based")
+    base = min(base_s * 2.0 ** (retry - 1), max_s)
+    mix = (seed * 1_000_003 + task_index) * 9_973 + retry
+    return base * (1.0 + jitter * random.Random(mix).random())
 
 
 @dataclass(frozen=True)
@@ -106,6 +133,10 @@ class ExecutorStats:
     speculative_reissues: int = 0
     duplicates_discarded: int = 0
     quarantined: int = 0
+    # Lease-protocol accounting (swarm executor; zero elsewhere).
+    leases_issued: int = 0
+    leases_expired: int = 0
+    work_stolen: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (recorded on :class:`CampaignResult`)."""
@@ -322,7 +353,7 @@ class ResilientExecutor(Executor):
         straggler_factor: Optional[float] = 4.0,
         straggler_min_completions: int = 3,
         poll_interval_s: float = 0.05,
-        backoff_seed: int = 0,
+        backoff_seed: Optional[int] = None,
     ) -> None:
         super().__init__()
         if workers < 1:
@@ -342,7 +373,10 @@ class ResilientExecutor(Executor):
         self.straggler_factor = straggler_factor
         self.straggler_min_completions = int(straggler_min_completions)
         self.poll_interval_s = float(poll_interval_s)
-        self.backoff_seed = int(backoff_seed)
+        #: Jitter seed; ``None`` means "derive from the campaign root seed"
+        #: (the campaign engine fills it in at resolve time, so chaos runs
+        #: reproduce and distinct campaigns de-synchronise their storms).
+        self.backoff_seed = None if backoff_seed is None else int(backoff_seed)
         self._live: List[_WorkerHandle] = []
         self._stop_requested = False
         self._spawned_initial = False
@@ -355,11 +389,14 @@ class ResilientExecutor(Executor):
         the jitter RNG is seeded from ``(backoff_seed, task_index, retry)``
         only, so the schedule is reproducible across runs and processes.
         """
-        if retry < 1:
-            raise ValueError("retry is 1-based")
-        base = min(self.backoff_base_s * 2.0 ** (retry - 1), self.backoff_max_s)
-        seed = (self.backoff_seed * 1_000_003 + task_index) * 9_973 + retry
-        return base * (1.0 + self.backoff_jitter * random.Random(seed).random())
+        return retry_backoff_delay(
+            task_index,
+            retry,
+            base_s=self.backoff_base_s,
+            max_s=self.backoff_max_s,
+            jitter=self.backoff_jitter,
+            seed=self.backoff_seed or 0,
+        )
 
     def _spawn(self, ctx) -> _WorkerHandle:
         worker = _WorkerHandle(ctx)

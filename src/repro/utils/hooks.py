@@ -98,6 +98,22 @@ class SimHooks:
     def task_quarantined(self, key: str, attempts: int, reason: str) -> None:
         """Task ``key`` exhausted its retries and was quarantined."""
 
+    # -- swarm lifecycle (distributed executor) ----------------------------
+    def worker_joined(self, worker_id: str) -> None:
+        """Worker ``worker_id`` sent its first heartbeat (spawned or external)."""
+
+    def worker_left(self, worker_id: str, reason: str) -> None:
+        """Worker ``worker_id`` left the swarm (crash, shutdown, ...)."""
+
+    def lease_granted(self, worker_id: str, attempt: str, num_tasks: int) -> None:
+        """A lease of ``num_tasks`` tasks was issued to ``worker_id``."""
+
+    def lease_expired(self, worker_id: str, attempt: str, reason: str) -> None:
+        """Lease ``attempt`` was reclaimed; its tasks will be re-issued."""
+
+    def work_stolen(self, key: str, from_worker: str, to_worker: str) -> None:
+        """Task ``key`` was speculatively re-leased from a slow worker."""
+
 
 class CompositeHooks(SimHooks):
     """Fan one dispatch point out to several :class:`SimHooks` instances.
@@ -171,6 +187,26 @@ class CompositeHooks(SimHooks):
     def task_quarantined(self, key, attempts, reason):
         for child in self.children:
             child.task_quarantined(key, attempts, reason)
+
+    def worker_joined(self, worker_id):
+        for child in self.children:
+            child.worker_joined(worker_id)
+
+    def worker_left(self, worker_id, reason):
+        for child in self.children:
+            child.worker_left(worker_id, reason)
+
+    def lease_granted(self, worker_id, attempt, num_tasks):
+        for child in self.children:
+            child.lease_granted(worker_id, attempt, num_tasks)
+
+    def lease_expired(self, worker_id, attempt, reason):
+        for child in self.children:
+            child.lease_expired(worker_id, attempt, reason)
+
+    def work_stolen(self, key, from_worker, to_worker):
+        for child in self.children:
+            child.work_stolen(key, from_worker, to_worker)
 
 
 class StageTimingHooks(SimHooks):

@@ -97,6 +97,12 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "task_completed": ("key", "attempts", "duration_s"),
     "task_retry": ("key", "attempt", "delay_s", "reason"),
     "task_quarantined": ("key", "attempts", "reason"),
+    # swarm lifecycle (distributed executor)
+    "worker_joined": ("worker_id",),
+    "worker_left": ("worker_id", "reason"),
+    "lease_granted": ("worker_id", "attempt", "num_tasks"),
+    "lease_expired": ("worker_id", "attempt", "reason"),
+    "work_stolen": ("key", "from_worker", "to_worker"),
 }
 
 #: Wall-clock fields: nondeterministic, dropped by :func:`normalize_event`.
@@ -447,6 +453,28 @@ class RecorderHooks(SimHooks):
     def task_quarantined(self, key, attempts, reason):
         self.recorder.record(
             "task_quarantined", key=key, attempts=attempts, reason=reason
+        )
+
+    # -- swarm lifecycle ---------------------------------------------------
+    def worker_joined(self, worker_id):
+        self.recorder.record("worker_joined", worker_id=worker_id)
+
+    def worker_left(self, worker_id, reason):
+        self.recorder.record("worker_left", worker_id=worker_id, reason=reason)
+
+    def lease_granted(self, worker_id, attempt, num_tasks):
+        self.recorder.record(
+            "lease_granted", worker_id=worker_id, attempt=attempt, num_tasks=num_tasks
+        )
+
+    def lease_expired(self, worker_id, attempt, reason):
+        self.recorder.record(
+            "lease_expired", worker_id=worker_id, attempt=attempt, reason=reason
+        )
+
+    def work_stolen(self, key, from_worker, to_worker):
+        self.recorder.record(
+            "work_stolen", key=key, from_worker=from_worker, to_worker=to_worker
         )
 
 

@@ -328,13 +328,33 @@ campaign.run(workers=2, checkpoint_path={ckpt!r})
 
 class TestSignalInterrupt:
     def _completed_entries(self, path):
-        if not os.path.exists(path):
-            return {}
-        try:
-            with open(path) as handle:
-                return json.load(handle).get("completed", {})
-        except json.JSONDecodeError:  # pragma: no cover - atomic writes
-            return {}
+        # Mid-run, completed replications live in the fsync'd WAL; the JSON
+        # only materialises at compaction (periodic or on close/interrupt).
+        # A resumable snapshot is therefore JSON ∪ valid WAL prefix.
+        completed = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    completed.update(json.load(handle).get("completed", {}))
+            except json.JSONDecodeError:  # pragma: no cover - atomic writes
+                pass
+        wal = path + ".wal"
+        if os.path.exists(wal):
+            try:
+                with open(wal, "rb") as handle:
+                    raw = handle.read()
+            except OSError:  # pragma: no cover - race with compaction
+                return completed
+            for line in raw.splitlines(keepends=True):
+                if not line.endswith(b"\n"):
+                    break  # torn tail
+                try:
+                    body = json.loads(line.decode("utf-8").split(" ", 1)[1])
+                except (ValueError, IndexError, UnicodeDecodeError):
+                    break
+                if "key" in body:
+                    completed[body["key"]] = body.get("metrics", {})
+        return completed
 
     def test_sigterm_flushes_checkpoint_and_resume_matches(self, tmp_path):
         src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
@@ -384,6 +404,105 @@ class TestSignalInterrupt:
         clean = toy_campaign().run()
         resumed = toy_campaign().run(workers=1, checkpoint_path=ckpt)
         assert resumed.reused_replications == len(completed)
+        assert [p.replications for p in resumed.points] == [
+            p.replications for p in clean.points
+        ]
+
+
+_COORDINATOR_KILL_SCRIPT = """
+import os, sys
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.experiments.campaign import Campaign
+
+
+def runner(params, seed):
+    rng = np.random.default_rng(seed)
+    draws = rng.random(256)
+    return {{
+        "mean_draw": float(draws.mean()) + float(params["offset"]),
+        "max_draw": float(draws.max()),
+    }}
+
+
+def die_after(done, total):
+    # SIGKILL stand-in: no unwind, no journal.close(), no compaction —
+    # whatever survives is exactly the fsync'd WAL prefix.
+    if done >= 3:
+        os._exit(3)
+
+
+points = [{{"offset": 0.0}}, {{"offset": 10.0}}, {{"offset": 20.0}}]
+campaign = Campaign("toy", runner, points, replications=3, root_seed=123)
+campaign.run(checkpoint_path={ckpt!r}, progress=die_after)
+"""
+
+
+class TestCoordinatorKillResume:
+    """A coordinator killed at any point resumes from the WAL, no recompute."""
+
+    def _killed_run(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        ckpt = str(tmp_path / "ckpt.json")
+        script = tmp_path / "killed_campaign.py"
+        script.write_text(
+            textwrap.dedent(
+                _COORDINATOR_KILL_SCRIPT.format(src=os.path.abspath(src), ckpt=ckpt)
+            )
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 3, proc.stderr
+        return ckpt
+
+    def test_kill_mid_run_leaves_wal_only_and_resumes(self, tmp_path):
+        ckpt = self._killed_run(tmp_path)
+        # Died before the first compaction: durability is the WAL alone.
+        assert not os.path.exists(ckpt)
+        assert os.path.exists(ckpt + ".wal")
+
+        clean = toy_campaign().run()
+        resumed = toy_campaign().run(checkpoint_path=ckpt)
+        assert resumed.reused_replications == 3
+        assert [p.replications for p in resumed.points] == [
+            p.replications for p in clean.points
+        ]
+        # The resume closed cleanly: compacted JSON, WAL gone.
+        assert os.path.exists(ckpt)
+        assert not os.path.exists(ckpt + ".wal")
+        with open(ckpt) as handle:
+            assert len(json.load(handle)["completed"]) == 9
+
+    def test_kill_mid_append_torn_tail_is_discarded(self, tmp_path):
+        ckpt = self._killed_run(tmp_path)
+        with open(ckpt + ".wal", "ab") as handle:
+            handle.write(b'deadbeef {"key": "2/2", "metrics"')  # torn record
+
+        clean = toy_campaign().run()
+        resumed = toy_campaign().run(checkpoint_path=ckpt)
+        assert resumed.reused_replications == 3  # the torn tail reused nothing
+        assert [p.replications for p in resumed.points] == [
+            p.replications for p in clean.points
+        ]
+
+    def test_kill_mid_compaction_replays_idempotently(self, tmp_path):
+        # Crash window: compaction published the JSON but died before the
+        # WAL reset — resume sees every record twice and must merge.
+        ckpt = self._killed_run(tmp_path)
+        with open(ckpt + ".wal", "rb") as handle:
+            stale_wal = handle.read()
+        toy_campaign().run(checkpoint_path=ckpt)  # completes: JSON, WAL gone
+        with open(ckpt + ".wal", "wb") as handle:
+            handle.write(stale_wal)  # resurrect the pre-compaction WAL
+
+        clean = toy_campaign().run()
+        resumed = toy_campaign().run(checkpoint_path=ckpt)
+        assert resumed.reused_replications == 9  # nothing recomputed
         assert [p.replications for p in resumed.points] == [
             p.replications for p in clean.points
         ]
