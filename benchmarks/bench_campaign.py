@@ -270,6 +270,74 @@ def run_swarm_overhead(smoke: bool, replications: int) -> Dict:
 
 
 # --------------------------------------------------------------------------
+# variance reduction: paired CRN deltas vs. the unpaired Welch interval
+# --------------------------------------------------------------------------
+def run_variance_reduction(smoke: bool) -> Dict:
+    """Measure the CI shrink bought by common random numbers on the F5 grid.
+
+    Runs the J1-vs-J2 objectives campaign (all points share one seed group,
+    so every ``lambda`` replays the same traffic sample paths) and compares
+    the paired-t half-width of the J1-minus-J2 ``mean_delay_s`` delta against
+    the Welch half-width computed on the very same samples.  The ratio is the
+    variance-reduction factor; the regression gate requires it to stay below
+    one (``paired_smaller``) — if it ever is not, the seed-group pairing
+    contract of the campaign engine is broken.
+    """
+    from repro.experiments.common import paper_scenario
+    from repro.experiments.objectives_tradeoff import build_objectives_campaign
+
+    # The smoke point must stay heavy enough that lambda = 2 actually changes
+    # scheduling decisions — at tiny durations/loads the J1/J2 schedules
+    # coincide and the paired interval degenerates to a trivial 0.
+    if smoke:
+        scenario = paper_scenario(duration_s=2.0, warmup_s=0.5)
+        num_seeds, load = 6, 16
+    else:
+        scenario = paper_scenario(duration_s=4.0, warmup_s=1.0)
+        num_seeds, load = 10, 18
+    campaign = build_objectives_campaign(
+        penalty_scales=[0.0, 2.0],
+        load=load,
+        scenario=scenario,
+        num_seeds=num_seeds,
+    )
+    started = time.perf_counter()
+    outcome = campaign.run(workers=2)
+    elapsed = time.perf_counter() - started
+    delta = outcome.compare_points(0, 1)["mean_delay_s"]
+    ratio = (
+        delta.ci_half_width / delta.unpaired_ci_half_width
+        if delta.unpaired_ci_half_width > 0.0
+        else float("nan")
+    )
+    paired_smaller = delta.ci_half_width < delta.unpaired_ci_half_width
+    print(
+        f"variance reduction (F5, {num_seeds} paired seeds): paired CI "
+        f"{delta.ci_half_width:.4g} s vs unpaired {delta.unpaired_ci_half_width:.4g} s "
+        f"(ratio {ratio:.3f}, paired_smaller={paired_smaller})"
+    )
+    return {
+        "campaign": "F5-objectives-tradeoff",
+        "metric": "mean_delay_s",
+        "load": load,
+        "num_seeds": num_seeds,
+        "n_pairs": delta.count,
+        "delta_mean_delay_s": round(delta.delta, 6),
+        "paired_ci_half_width_s": round(delta.ci_half_width, 6),
+        "unpaired_ci_half_width_s": round(delta.unpaired_ci_half_width, 6),
+        "ci_ratio": round(ratio, 4),
+        "paired_smaller": bool(paired_smaller),
+        "elapsed_s": round(elapsed, 4),
+        "note": (
+            "paired_ci is the paired-t 95% half-width of the J1-minus-J2 "
+            "mean_delay_s delta under common random numbers; unpaired_ci is "
+            "the Welch interval on the same samples.  ci_ratio < 1 is the "
+            "variance reduction the shared seed groups buy."
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
 # J = 1e5 fleet-path campaign point
 # --------------------------------------------------------------------------
 def fleet_point_replication(params: Mapping[str, object], seed) -> dict:
@@ -350,30 +418,57 @@ def main(argv=None) -> int:
     parser.add_argument("--fleet-frames", type=int, default=10)
     parser.add_argument("--skip-fleet", action="store_true",
                         help="skip the J=1e5 fleet-path point")
+    parser.add_argument("--sections", nargs="+", default=None,
+                        choices=["coverage_scaling", "resilient_overhead",
+                                 "swarm_overhead", "variance_reduction",
+                                 "fleet_point"],
+                        help="run only these sections; when --output already "
+                             "exists its other sections are kept (so one "
+                             "section can be regenerated without re-running "
+                             "the whole sweep)")
     args = parser.parse_args(argv)
 
     worker_counts = args.workers or ([1, 2] if args.smoke else [1, 4, 8])
     replications = args.replications or (1 if args.smoke else 4)
 
-    report = {
-        "generated_by": "benchmarks/bench_campaign.py",
-        "mode": "smoke" if args.smoke else "full",
-        "hardware": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "coverage_scaling": run_coverage_scaling(
+    runners = {
+        "coverage_scaling": lambda: run_coverage_scaling(
             worker_counts, args.smoke, replications
         ),
-        "resilient_overhead": run_resilient_overhead(args.smoke, replications),
-        "swarm_overhead": run_swarm_overhead(args.smoke, replications),
-    }
-    if not args.skip_fleet and not args.smoke:
-        report["fleet_point"] = run_fleet_point(
+        "resilient_overhead": lambda: run_resilient_overhead(
+            args.smoke, replications
+        ),
+        "swarm_overhead": lambda: run_swarm_overhead(args.smoke, replications),
+        "variance_reduction": lambda: run_variance_reduction(args.smoke),
+        "fleet_point": lambda: run_fleet_point(
             args.fleet_population, args.fleet_frames
-        )
+        ),
+    }
+    if args.sections is not None:
+        sections = list(args.sections)
+    else:
+        sections = ["coverage_scaling", "resilient_overhead", "swarm_overhead",
+                    "variance_reduction"]
+        if not args.skip_fleet and not args.smoke:
+            sections.append("fleet_point")
+
+    report = {}
+    if args.sections is not None and args.output.exists():
+        report = json.loads(args.output.read_text())
+    report.update(
+        {
+            "generated_by": "benchmarks/bench_campaign.py",
+            "mode": "smoke" if args.smoke else "full",
+            "hardware": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+        }
+    )
+    for name in sections:
+        report[name] = runners[name]()
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -163,6 +163,29 @@ def _campaign_measurements(report: Dict) -> Tuple[Dict[str, float], List[str]]:
                 f"campaign: {label} no-fault overhead "
                 f"{measured * 100:.2f}% exceeds the {budget * 100:.0f}% budget"
             )
+    # Variance reduction: the paired-t interval of a CRN delta must be
+    # strictly tighter than the Welch interval on the same samples.  This
+    # gates the seed-group pairing contract end-to-end (shared replication
+    # streams -> positively correlated samples -> smaller paired variance);
+    # it holding at ~1.0 would mean the grid points no longer share streams.
+    variance = report.get("variance_reduction", {})
+    if not variance:
+        failures.append("campaign: variance_reduction section missing from report")
+    else:
+        ratio = float(variance.get("ci_ratio", float("nan")))
+        paired_smaller = bool(variance.get("paired_smaller", False))
+        verdict = "ok" if paired_smaller else "REGRESSION"
+        print(
+            f"  campaign[variance_reduction]: paired/unpaired CI ratio "
+            f"{ratio:.3f} -> {verdict}"
+        )
+        if not paired_smaller:
+            failures.append(
+                "campaign: paired CRN half-width is no longer strictly "
+                "smaller than the unpaired Welch half-width "
+                f"(ratio {ratio:.3f}) — the shared-seed-group pairing "
+                "contract looks broken"
+            )
     return {}, failures
 
 

@@ -26,10 +26,14 @@ prints the paper-style table; the corresponding pytest-benchmark lives in
 """
 
 from repro.experiments.campaign import (
+    AntitheticSeedSequence,
     Campaign,
     CampaignResult,
+    DeltaSummary,
     MetricSummary,
+    is_antithetic,
     replication_seed,
+    rng_for_leaf,
     seed_sequence_to_int,
 )
 from repro.experiments.common import (
@@ -55,6 +59,7 @@ from repro.experiments.faults import (
 from repro.experiments.journal import CheckpointJournal
 from repro.experiments.swarm import SwarmExecutor
 from repro.experiments.phy_throughput import run_phy_throughput
+from repro.experiments.compare import compare_schedulers, run_scheduler_comparison
 from repro.experiments.delay_vs_load import run_delay_vs_load, run_admission_statistics
 from repro.experiments.capacity import run_capacity
 from repro.experiments.coverage import run_coverage
@@ -63,10 +68,14 @@ from repro.experiments.solver_ablation import run_solver_ablation
 from repro.experiments.handoff_ablation import run_handoff_ablation
 
 __all__ = [
+    "AntitheticSeedSequence",
     "Campaign",
     "CampaignResult",
+    "DeltaSummary",
     "MetricSummary",
+    "is_antithetic",
     "replication_seed",
+    "rng_for_leaf",
     "seed_sequence_to_int",
     "scheduler_from_spec",
     "ExperimentResult",
@@ -85,6 +94,8 @@ __all__ = [
     "paper_scenario",
     "paper_traffic",
     "run_phy_throughput",
+    "compare_schedulers",
+    "run_scheduler_comparison",
     "run_delay_vs_load",
     "run_admission_statistics",
     "run_capacity",

@@ -77,13 +77,22 @@ from repro.utils.recorder import (
     RecorderHooks,
     use_recorder,
 )
-from repro.utils.stats import confidence_interval
+from repro.utils.rng import AntitheticRng
+from repro.utils.stats import (
+    confidence_interval,
+    paired_confidence_interval,
+    unpaired_confidence_interval,
+)
 
 __all__ = [
     "replication_seed",
     "seed_sequence_to_int",
+    "AntitheticSeedSequence",
+    "is_antithetic",
+    "rng_for_leaf",
     "grid_points",
     "MetricSummary",
+    "DeltaSummary",
     "PointResult",
     "CampaignResult",
     "Campaign",
@@ -102,8 +111,45 @@ Runner = Callable[[Mapping[str, object], np.random.SeedSequence], MetricDict]
 # ---------------------------------------------------------------------------
 # Deterministic seed tree
 # ---------------------------------------------------------------------------
+class AntitheticSeedSequence(np.random.SeedSequence):
+    """A seed-tree leaf whose stream must be *reflected*, not consumed as-is.
+
+    It seeds a generator to the exact same state as the plain leaf with the
+    same coordinates; the ``antithetic`` marker tells the runner (through
+    :func:`rng_for_leaf`) to wrap that generator in
+    :class:`repro.utils.rng.AntitheticRng`, which mirrors every draw.
+    Runners that ignore the marker would silently break the negative
+    coupling, so :func:`seed_sequence_to_int` refuses antithetic leaves.
+    """
+
+    antithetic = True
+
+
+def is_antithetic(sequence: np.random.SeedSequence) -> bool:
+    """Whether a seed-tree leaf requests the antithetic (mirrored) stream."""
+    return bool(getattr(sequence, "antithetic", False))
+
+
+def rng_for_leaf(sequence: np.random.SeedSequence):
+    """Build the generator a runner should draw from for this leaf.
+
+    Plain leaves give an ordinary :class:`numpy.random.Generator`; leaves
+    marked antithetic give an :class:`repro.utils.rng.AntitheticRng` whose
+    underlying generator is seeded identically to the primary replication of
+    the pair, so every draw is the primary draw reflected.  Runners that
+    opt in to antithetic campaigns must obtain their generator through this
+    helper instead of ``np.random.default_rng(seed)``.
+    """
+    if is_antithetic(sequence):
+        primary = np.random.SeedSequence(
+            entropy=sequence.entropy, spawn_key=tuple(sequence.spawn_key)
+        )
+        return AntitheticRng(np.random.default_rng(primary))
+    return np.random.default_rng(sequence)
+
+
 def replication_seed(
-    root_seed: int, seed_group: int, replication: int
+    root_seed: int, seed_group: int, replication: int, antithetic: bool = False
 ) -> np.random.SeedSequence:
     """Seed-tree leaf for replication ``replication`` of group ``seed_group``.
 
@@ -113,11 +159,13 @@ def replication_seed(
     determinism contract the campaign engine is built on.  Points sharing a
     seed group (common-random-numbers designs) share leaves; distinct
     ``(seed_group, replication)`` coordinates give provably independent
-    streams.
+    streams.  ``antithetic=True`` returns the same coordinates marked as an
+    :class:`AntitheticSeedSequence` — the mirror stream of the plain leaf.
     """
     if seed_group < 0 or replication < 0:
         raise ValueError("seed_group and replication must be non-negative")
-    return np.random.SeedSequence(
+    cls = AntitheticSeedSequence if antithetic else np.random.SeedSequence
+    return cls(
         entropy=int(root_seed), spawn_key=(int(seed_group), int(replication))
     )
 
@@ -129,7 +177,18 @@ def seed_sequence_to_int(sequence: np.random.SeedSequence) -> int:
     (e.g. :attr:`repro.simulation.scenario.ScenarioConfig.seed`); the mapping
     is injective enough in practice that distinct leaves keep distinct
     streams (certified by the collision tests in the campaign test suite).
+
+    Antithetic leaves are refused: an integer master seed reconstructs the
+    *primary* stream, which would silently drop the reflection and destroy
+    the negative coupling the pair exists for.  Runners that support
+    antithetic campaigns must draw through :func:`rng_for_leaf` instead.
     """
+    if is_antithetic(sequence):
+        raise ValueError(
+            "antithetic seed leaf cannot be collapsed to an integer seed; "
+            "the runner must build its generator with rng_for_leaf() to "
+            "honour the mirrored stream"
+        )
     return int(sequence.generate_state(1, np.uint64)[0])
 
 
@@ -181,7 +240,11 @@ class MetricSummary:
     ``failed`` counts replications of the point that were quarantined by a
     fault-tolerant executor and therefore contribute no sample — a non-zero
     value marks a *degraded* cell whose mean/CI rest on fewer replications
-    than the campaign requested.
+    than the campaign requested.  ``non_finite`` counts replications that
+    *did* complete but produced a NaN/inf value for this metric; they are
+    excluded from the aggregates and flag the cell as degraded the same way
+    ``failed`` does (a mean quietly computed over fewer samples than the
+    campaign ran would otherwise look clean).
     """
 
     count: int
@@ -191,6 +254,7 @@ class MetricSummary:
     min: float
     max: float
     failed: int = 0
+    non_finite: int = 0
 
     @classmethod
     def from_samples(
@@ -199,9 +263,17 @@ class MetricSummary:
         """Summarise ``samples`` with a Student-t confidence interval."""
         arr = np.asarray(list(samples), dtype=float)
         finite = arr[np.isfinite(arr)]
+        non_finite = int(arr.size - finite.size)
         if finite.size == 0:
             return cls(
-                0, math.nan, math.nan, math.nan, math.nan, math.nan, failed=failed
+                0,
+                math.nan,
+                math.nan,
+                math.nan,
+                math.nan,
+                math.nan,
+                failed=failed,
+                non_finite=non_finite,
             )
         mean, half = confidence_interval(finite, confidence)
         std = float(finite.std(ddof=1)) if finite.size > 1 else 0.0
@@ -213,7 +285,29 @@ class MetricSummary:
             min=float(finite.min()),
             max=float(finite.max()),
             failed=failed,
+            non_finite=non_finite,
         )
+
+
+@dataclass(frozen=True)
+class DeltaSummary:
+    """Paired difference of one metric between two grid points under CRN.
+
+    ``delta`` is ``mean_a - mean_b`` over the ``count`` replication pairs
+    the two points share; ``ci_half_width`` is the paired-t interval on the
+    per-pair differences, while ``unpaired_ci_half_width`` is the Welch
+    interval that ignores the pairing — quoting both makes the variance
+    reduction bought by common random numbers visible.  ``non_finite``
+    counts pairs dropped because either side was NaN/inf.
+    """
+
+    count: int
+    mean_a: float
+    mean_b: float
+    delta: float
+    ci_half_width: float
+    unpaired_ci_half_width: float
+    non_finite: int = 0
 
 
 @dataclass
@@ -224,12 +318,20 @@ class PointResult:
     quarantined (exhausted retries) to the last failure reason; those
     replications are absent from ``replications`` and the point's summaries
     are computed over the survivors only.
+
+    When the campaign ran with ``antithetic=True``, replication ``2k + 1``
+    is the mirrored stream of replication ``2k``; the statistical unit is
+    then the *pair*, and :meth:`samples` returns within-pair averages
+    (pairs with a missing member are dropped — half a pair is not an
+    unbiased draw of the pair mean).
     """
 
     index: int
     params: Dict[str, object]
     replications: Dict[int, MetricDict] = field(default_factory=dict)
     failures: Dict[int, str] = field(default_factory=dict)
+    antithetic: bool = False
+    seed_group: Optional[int] = None
 
     def metric_names(self) -> List[str]:
         """Union of metric names over the replications, insertion-ordered."""
@@ -239,12 +341,47 @@ class PointResult:
                 names.setdefault(key, None)
         return list(names)
 
+    def sample_map(self, metric: str) -> Dict[int, float]:
+        """The metric's samples keyed by statistical unit.
+
+        Plain campaigns key by replication index; antithetic campaigns key
+        by pair index ``k`` with the within-pair average of replications
+        ``2k`` and ``2k + 1`` as the value.  The keys are what makes CRN
+        deltas between two points pair the *same* streams (see
+        :meth:`CampaignResult.compare_points`).
+        """
+        if not self.antithetic:
+            return {
+                rep: float(self.replications[rep][metric])
+                for rep in sorted(self.replications)
+                if metric in self.replications[rep]
+            }
+        pairs: Dict[int, float] = {}
+        for rep in sorted(self.replications):
+            if rep % 2 or (rep + 1) not in self.replications:
+                continue
+            primary = self.replications[rep]
+            mirror = self.replications[rep + 1]
+            if metric in primary and metric in mirror:
+                pairs[rep // 2] = 0.5 * (
+                    float(primary[metric]) + float(mirror[metric])
+                )
+        return pairs
+
     def samples(self, metric: str) -> List[float]:
         """The metric's samples in replication order (determinism anchor)."""
+        sample_map = self.sample_map(metric)
+        return [sample_map[key] for key in sorted(sample_map)]
+
+    def non_finite_replications(self) -> List[int]:
+        """Replications that completed but produced any NaN/inf metric."""
         return [
-            float(self.replications[rep][metric])
+            rep
             for rep in sorted(self.replications)
-            if metric in self.replications[rep]
+            if any(
+                not math.isfinite(float(value))
+                for value in self.replications[rep].values()
+            )
         ]
 
     def summary(self, confidence: float = 0.95) -> Dict[str, MetricSummary]:
@@ -264,7 +401,10 @@ class CampaignResult:
     ``executor_name`` / ``executor_stats`` record which back-end executed the
     run and its fault-tolerance accounting (retries, timeouts, respawns,
     speculative re-issues, quarantines — all zero for the serial and pool
-    executors).
+    executors).  Sequential-stopping campaigns additionally record the
+    realised per-point replication counts (``realised_replications``), the
+    number of issuance waves and the stopping rule (``ci_target`` /
+    ``ci_metric``); fixed-count campaigns leave them at their defaults.
     """
 
     name: str
@@ -275,6 +415,12 @@ class CampaignResult:
     elapsed_s: float = 0.0
     executor_name: str = "serial"
     executor_stats: Dict[str, int] = field(default_factory=dict)
+    seed_groups: List[int] = field(default_factory=list)
+    antithetic: bool = False
+    realised_replications: Optional[List[int]] = None
+    waves: int = 1
+    ci_target: Optional[float] = None
+    ci_metric: Optional[str] = None
 
     @property
     def completed_replications(self) -> int:
@@ -294,6 +440,73 @@ class CampaignResult:
         """Per-point summaries in grid order."""
         return [point.summary(confidence) for point in self.points]
 
+    def compare_points(
+        self, index_a: int, index_b: int, confidence: float = 0.95
+    ) -> Dict[str, DeltaSummary]:
+        """Per-metric paired deltas (point ``a`` minus point ``b``) under CRN.
+
+        The two points must share a seed group: replication ``r`` of either
+        point then consumed the *same* random streams, so the differences
+        ``a_r - b_r`` are genuinely paired and their paired-t interval is
+        (under the positive correlation CRN induces) strictly tighter than
+        the Welch interval on the same samples.  Pairs where either side is
+        missing (quarantined) or non-finite are dropped and counted in
+        ``non_finite``; in antithetic campaigns the pairing unit is the
+        antithetic pair average.
+        """
+        point_a = self.points[index_a]
+        point_b = self.points[index_b]
+        if self.seed_groups:
+            group_a = self.seed_groups[index_a]
+            group_b = self.seed_groups[index_b]
+            if group_a != group_b:
+                raise ValueError(
+                    f"points {index_a} and {index_b} are in different seed "
+                    f"groups ({group_a} vs {group_b}): their replications "
+                    f"drew independent streams, so a paired delta would be "
+                    f"meaningless — compare points sharing a seed group, or "
+                    f"use the unpaired Welch interval directly"
+                )
+        names_b = set(point_b.metric_names())
+        deltas: Dict[str, DeltaSummary] = {}
+        for name in point_a.metric_names():
+            if name not in names_b:
+                continue
+            map_a = point_a.sample_map(name)
+            map_b = point_b.sample_map(name)
+            common = sorted(set(map_a) & set(map_b))
+            arr_a = np.asarray([map_a[key] for key in common], dtype=float)
+            arr_b = np.asarray([map_b[key] for key in common], dtype=float)
+            finite = np.isfinite(arr_a) & np.isfinite(arr_b)
+            non_finite = int(len(common) - int(finite.sum()))
+            arr_a = arr_a[finite]
+            arr_b = arr_b[finite]
+            if arr_a.size == 0:
+                deltas[name] = DeltaSummary(
+                    0,
+                    math.nan,
+                    math.nan,
+                    math.nan,
+                    math.nan,
+                    math.nan,
+                    non_finite=non_finite,
+                )
+                continue
+            delta, half = paired_confidence_interval(arr_a, arr_b, confidence)
+            _, unpaired_half = unpaired_confidence_interval(
+                arr_a, arr_b, confidence
+            )
+            deltas[name] = DeltaSummary(
+                count=int(arr_a.size),
+                mean_a=float(arr_a.mean()),
+                mean_b=float(arr_b.mean()),
+                delta=delta,
+                ci_half_width=half,
+                unpaired_ci_half_width=unpaired_half,
+                non_finite=non_finite,
+            )
+        return deltas
+
 
 # ---------------------------------------------------------------------------
 # Worker entry point (module level so it pickles by reference)
@@ -302,7 +515,11 @@ def _execute_task(payload) -> MetricDict:
     """Run one replication; the executing process may be anywhere.
 
     ``payload`` is ``(runner, params, root_seed, point_index, replication,
-    seed_group, fault_plan, trace_dir)``.  The optional fault plan fires
+    seed_group, fault_plan, trace_dir, antithetic)``.  In antithetic mode
+    the odd replication ``2k + 1`` is executed on the *mirror* of
+    replication ``2k``'s seed leaf (same coordinates, marked antithetic), so
+    the pair is negatively coupled draw for draw.  The optional fault plan
+    fires
     *before* the runner, so an injected fault can fail or delay the attempt
     but can never alter the metrics of a successful one — which is what
     makes chaos runs bit-identical to clean ones.
@@ -316,12 +533,25 @@ def _execute_task(payload) -> MetricDict:
     the same path publishes one complete file.  Tracing only observes — the
     returned metrics are bit-identical to an untraced run.
     """
-    runner, params, root_seed, point_index, replication, seed_group, plan, trace_dir = (
-        payload
-    )
+    (
+        runner,
+        params,
+        root_seed,
+        point_index,
+        replication,
+        seed_group,
+        plan,
+        trace_dir,
+        antithetic,
+    ) = payload
     if plan is not None:
         plan.apply(point_index, replication)
-    seed = replication_seed(root_seed, seed_group, replication)
+    if antithetic and replication % 2:
+        seed = replication_seed(
+            root_seed, seed_group, replication - 1, antithetic=True
+        )
+    else:
+        seed = replication_seed(root_seed, seed_group, replication)
     if trace_dir is None:
         metrics = runner(params, seed)
     else:
@@ -377,6 +607,18 @@ class Campaign:
         common-random-numbers design the paper-style experiments use to make
         scheduler comparisons paired (same drops, same traffic sample paths).
         ``None`` gives every point its own group (fully independent points).
+    antithetic:
+        Pair replication ``2k`` with the antithetic (mirrored) stream as
+        replication ``2k + 1`` and average within pairs before summarising.
+        Requires an even replication count and a runner that draws through
+        :func:`rng_for_leaf` (runners collapsing the leaf with
+        :func:`seed_sequence_to_int` fail loudly).  Only helps metrics that
+        respond monotonically to the underlying uniforms.
+    ci_target / ci_metric / max_replications / wave_size:
+        Sequential stopping (see :meth:`configure_sequential`): run
+        replication waves until the ``confidence``-level CI half-width of
+        ``ci_metric`` is at most ``ci_target`` at every point (or
+        ``max_replications`` is reached).
     """
 
     def __init__(
@@ -388,6 +630,11 @@ class Campaign:
         root_seed: int = 0,
         metadata: Optional[Mapping[str, object]] = None,
         seed_groups: Optional[Sequence[int]] = None,
+        antithetic: bool = False,
+        ci_target: Optional[float] = None,
+        ci_metric: Optional[str] = None,
+        max_replications: Optional[int] = None,
+        wave_size: Optional[int] = None,
     ) -> None:
         if not points:
             raise ValueError("points must not be empty")
@@ -405,6 +652,68 @@ class Campaign:
             if len(seed_groups) != len(self.points):
                 raise ValueError("seed_groups must match points in length")
             self.seed_groups = [int(g) for g in seed_groups]
+        self.antithetic = bool(antithetic)
+        if self.antithetic and self.replications % 2:
+            raise ValueError(
+                "antithetic campaigns need an even replication count "
+                "(replication 2k+1 is the mirror of replication 2k)"
+            )
+        self.ci_target: Optional[float] = None
+        self.ci_metric: Optional[str] = None
+        self.max_replications: Optional[int] = None
+        self.wave_size: Optional[int] = None
+        if ci_target is not None:
+            self.configure_sequential(
+                ci_target, ci_metric, max_replications, wave_size
+            )
+
+    def configure_sequential(
+        self,
+        ci_target: Optional[float],
+        ci_metric: Optional[str],
+        max_replications: Optional[int] = None,
+        wave_size: Optional[int] = None,
+    ) -> "Campaign":
+        """Enable sequential stopping: replicate until the CI is tight enough.
+
+        Instead of a fixed replication count, :meth:`run` issues tasks in
+        waves: the initial ``replications`` first, then ``wave_size`` more
+        per point (default: another ``replications``) until the
+        ``ci_target`` half-width of ``ci_metric`` is met at that point or
+        its realised count reaches ``max_replications`` (default
+        ``8 * replications``).  The stopping decisions are deterministic
+        functions of the completed samples, so aggregates stay bit-identical
+        for any worker count or executor, and a resumed run replays the
+        same wave schedule from the checkpoint without recomputing anything.
+
+        ``ci_target=None`` is a no-op (keeps the fixed-count behaviour),
+        letting run wrappers pass CLI flags through unconditionally.
+        """
+        if ci_target is None:
+            return self
+        if ci_target <= 0.0:
+            raise ValueError("ci_target must be positive")
+        if not ci_metric:
+            raise ValueError("ci_target requires ci_metric (the watched metric)")
+        self.ci_target = float(ci_target)
+        self.ci_metric = str(ci_metric)
+        self.max_replications = (
+            int(max_replications)
+            if max_replications is not None
+            else 8 * self.replications
+        )
+        self.wave_size = (
+            int(wave_size) if wave_size is not None else self.replications
+        )
+        if self.max_replications < self.replications:
+            raise ValueError("max_replications must be at least replications")
+        if self.wave_size < 1:
+            raise ValueError("wave_size must be at least 1")
+        if self.antithetic and (self.wave_size % 2 or self.max_replications % 2):
+            raise ValueError(
+                "antithetic campaigns need even wave_size and max_replications"
+            )
+        return self
 
     # -- checkpointing -----------------------------------------------------------
     @staticmethod
@@ -427,7 +736,15 @@ class Campaign:
         return repr(value)
 
     def fingerprint(self) -> str:
-        """Stable digest of the campaign shape (grid, replications, seed)."""
+        """Stable digest of the campaign shape (grid, replications, seed).
+
+        The sequential-stopping parameters are deliberately *excluded*: the
+        wave schedule is a pure function of the completed samples, so a
+        checkpoint from a fixed-count run resumes cleanly into a sequential
+        one (and vice versa) — the task keys are the same coordinates.
+        ``antithetic`` *is* included (only when on, keeping historic
+        fingerprints valid): it changes what every odd replication computes.
+        """
         parts = [
             self.name,
             str(self.root_seed),
@@ -435,6 +752,8 @@ class Campaign:
             str(len(self.points)),
             repr(self.seed_groups),
         ]
+        if self.antithetic:
+            parts.append("antithetic=True")
         for point in self.points:
             parts.append(
                 repr(sorted((str(k), self._stable_repr(v)) for k, v in point.items()))
@@ -494,6 +813,45 @@ class Campaign:
             for point_index in range(len(self.points))
             for replication in range(self.replications)
         ]
+
+    def _stopping_half_width(
+        self, point_index: int, completed: Mapping[str, MetricDict], realised: int
+    ) -> float:
+        """CI half-width of the stopping metric over one point's samples.
+
+        A deterministic function of the completed replications below
+        ``realised`` — the property that makes the wave schedule replayable
+        on resume.  Returns ``nan`` (never "converged") with fewer than two
+        finite samples.
+        """
+        values: Dict[int, float] = {}
+        available: set = set()
+        have_completed = False
+        for rep in range(realised):
+            metrics = completed.get(f"{point_index}/{rep}")
+            if metrics is None:
+                continue
+            have_completed = True
+            available.update(metrics)
+            if self.ci_metric in metrics:
+                values[rep] = float(metrics[self.ci_metric])
+        if have_completed and not values:
+            raise ValueError(
+                f"ci_metric {self.ci_metric!r} is not among the runner's "
+                f"metrics; available: {sorted(available)}"
+            )
+        if self.antithetic:
+            samples = [
+                0.5 * (values[rep] + values[rep + 1])
+                for rep in range(0, realised - 1, 2)
+                if rep in values and rep + 1 in values
+            ]
+        else:
+            samples = [values[rep] for rep in sorted(values)]
+        samples = [sample for sample in samples if math.isfinite(sample)]
+        if len(samples) < 2:
+            return math.nan
+        return confidence_interval(samples)[1]
 
     def _resolve_executor(
         self, executor: Optional[ExecutorSpec], workers: int
@@ -630,27 +988,33 @@ class Campaign:
             completed = journal.load()
         reused = len(completed)
 
-        tasks = [
-            TaskSpec(
-                point_index=pi,
-                replication=rep,
-                payload=(
-                    self.runner,
-                    self.points[pi],
-                    self.root_seed,
-                    pi,
-                    rep,
-                    self.seed_groups[pi],
-                    fault_plan,
-                    trace_dir,
-                ),
-            )
-            for pi, rep in self.tasks()
-            if f"{pi}/{rep}" not in completed
-        ]
-        total = len(self.points) * self.replications
-        done = total - len(tasks)
+        sequential = self.ci_target is not None
+        realised = [self.replications] * len(self.points)
+        total = sum(realised)
+        done = len(completed)
         failed: Dict[str, str] = {}
+
+        def wave_tasks() -> List[TaskSpec]:
+            return [
+                TaskSpec(
+                    point_index=pi,
+                    replication=rep,
+                    payload=(
+                        self.runner,
+                        self.points[pi],
+                        self.root_seed,
+                        pi,
+                        rep,
+                        self.seed_groups[pi],
+                        fault_plan,
+                        trace_dir,
+                        self.antithetic,
+                    ),
+                )
+                for pi in range(len(self.points))
+                for rep in range(realised[pi])
+                if f"{pi}/{rep}" not in completed and f"{pi}/{rep}" not in failed
+            ]
 
         def store(key: str, metrics: MetricDict) -> None:
             nonlocal done
@@ -680,17 +1044,53 @@ class Campaign:
                     previous_handlers[signum] = signal.signal(signum, raise_interrupt)
                 except (ValueError, OSError):  # pragma: no cover - exotic host
                     pass
+        # Sequential stopping issues tasks in waves; keep the executor's
+        # workers alive between them instead of tearing the fleet down and
+        # respawning it every wave.
+        backend.keep_alive = sequential
+        waves = 0
         try:
-            for outcome in backend.run(_execute_task, tasks):
-                if outcome.metrics is not None:
-                    store(outcome.task.key, outcome.metrics)
-                else:
-                    failed[outcome.task.key] = outcome.error or "unknown failure"
+            while True:
+                waves += 1
+                for outcome in backend.run(_execute_task, wave_tasks()):
+                    if outcome.metrics is not None:
+                        store(outcome.task.key, outcome.metrics)
+                    else:
+                        failed[outcome.task.key] = outcome.error or "unknown failure"
+                if not sequential:
+                    break
+                # The stopping rule between waves: grow every point whose CI
+                # is still too wide.  Decisions depend only on the completed
+                # samples, so any executor/worker topology — and any resumed
+                # run — walks the exact same wave schedule.
+                grew = False
+                for pi in range(len(self.points)):
+                    if realised[pi] >= self.max_replications:
+                        continue
+                    half = self._stopping_half_width(pi, completed, realised[pi])
+                    if half <= self.ci_target:  # nan compares False: keep going
+                        continue
+                    realised[pi] = min(
+                        self.max_replications, realised[pi] + self.wave_size
+                    )
+                    grew = True
+                if journal is not None:
+                    journal.append_note(
+                        {
+                            "wave": waves,
+                            "realised": list(realised),
+                            "converged": not grew,
+                        }
+                    )
+                if not grew:
+                    break
+                total = sum(realised)
         finally:
             for signum, handler in previous_handlers.items():
                 signal.signal(signum, handler)
             # Prompt worker teardown (idempotent; crucial on the interrupt
             # path, where the executor's generator may be left suspended).
+            backend.keep_alive = False
             backend.stop()
             if journal is not None:
                 # Compacts the WAL into the historic JSON checkpoint layout
@@ -707,7 +1107,12 @@ class Campaign:
                 campaign_recorder.close()
 
         points = [
-            PointResult(index=index, params=dict(params))
+            PointResult(
+                index=index,
+                params=dict(params),
+                antithetic=self.antithetic,
+                seed_group=self.seed_groups[index],
+            )
             for index, params in enumerate(self.points)
         ]
         for key, metrics in completed.items():
@@ -725,6 +1130,12 @@ class Campaign:
             elapsed_s=time.perf_counter() - started,
             executor_name=backend.name,
             executor_stats=backend.stats.as_dict(),
+            seed_groups=list(self.seed_groups),
+            antithetic=self.antithetic,
+            realised_replications=list(realised) if sequential else None,
+            waves=waves,
+            ci_target=self.ci_target,
+            ci_metric=self.ci_metric,
         )
 
 
@@ -824,6 +1235,20 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="record structured telemetry (campaign.jsonl + "
                              "one JSONL trace per replication) under this "
                              "directory")
+    parser.add_argument("--ci-target", type=float, default=None,
+                        help="sequential stopping: issue replications in "
+                             "waves of --replications until the 95%% CI "
+                             "half-width of --ci-metric is at most this at "
+                             "every grid point (bit-identical for any worker "
+                             "count and executor)")
+    parser.add_argument("--ci-metric", default=None,
+                        help="metric watched by --ci-target (default: the "
+                             "experiment's headline metric — 'coverage' for "
+                             "--experiment coverage, 'mean_delay_s' "
+                             "otherwise)")
+    parser.add_argument("--max-replications", type=int, default=None,
+                        help="sequential-stopping replication cap per point "
+                             "(default: 8x --replications)")
     args = parser.parse_args(argv)
 
     # Flags that a given experiment would silently drop are rejected instead.
@@ -850,6 +1275,10 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
     ):
         if value is not None and args.executor != "swarm":
             parser.error(f"{flag} requires --executor swarm")
+    if args.ci_target is None and (
+        args.ci_metric is not None or args.max_replications is not None
+    ):
+        parser.error("--ci-metric/--max-replications require --ci-target")
 
     executor = None
     if args.executor == "resilient":
@@ -922,6 +1351,15 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
         executor=executor,
         trace_dir=args.trace_dir,
     )
+    if args.ci_target is not None:
+        default_metric = (
+            "coverage" if args.experiment == "coverage" else "mean_delay_s"
+        )
+        common.update(
+            ci_target=args.ci_target,
+            ci_metric=args.ci_metric or default_metric,
+            max_replications=args.max_replications,
+        )
     if args.experiment == "coverage":
         kwargs = dict(
             loads=args.loads,

@@ -87,6 +87,9 @@ def run_capacity(
     checkpoint_path: Optional[str] = None,
     executor=None,
     trace_dir: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    ci_metric: Optional[str] = None,
+    max_replications: Optional[int] = None,
 ) -> ExperimentResult:
     """Estimate the per-cell data-user capacity of every scheduler.
 
@@ -97,8 +100,10 @@ def run_capacity(
     loads:
         Increasing data-user populations probed (default 6, 12, 18, 24, 30).
     scenario / scheduler_factories / num_seeds / workers / checkpoint_path /
-    executor / trace_dir:
-        As in :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
+    executor / trace_dir / ci_target / ci_metric / max_replications:
+        As in :func:`repro.experiments.delay_vs_load.run_delay_vs_load`
+        (sequential stopping watches ``mean_delay_s`` by default — the metric
+        the capacity scan thresholds).
     """
     if delay_target_s <= 0.0:
         raise ValueError("delay_target_s must be positive")
@@ -110,6 +115,11 @@ def run_capacity(
         num_seeds=num_seeds,
     )
     campaign.name = "T1-capacity"
+    campaign.configure_sequential(
+        ci_target,
+        ci_metric if ci_metric is not None else "mean_delay_s",
+        max_replications=max_replications,
+    )
     outcome = campaign.run(
         workers=workers,
         checkpoint_path=checkpoint_path,

@@ -81,29 +81,57 @@ class ExperimentResult:
 
 
 def flag_degraded(result: ExperimentResult, campaign_result) -> ExperimentResult:
-    """Mark a table built from a campaign that quarantined replications.
+    """Mark a table built from a campaign whose samples are incomplete.
 
-    Under :class:`~repro.experiments.executors.ResilientExecutor` a poisoned
-    task degrades its grid point instead of killing the run; the reducers call
-    this so a degraded table can never masquerade as a clean one.  When the
-    table has one row per campaign point an ``n_failed`` column is added;
-    either way a DEGRADED note naming the affected points is appended.
+    Two degradation modes are surfaced so a degraded table can never
+    masquerade as a clean one:
+
+    * quarantined replications — under
+      :class:`~repro.experiments.executors.ResilientExecutor` a poisoned task
+      degrades its grid point instead of killing the run;
+    * non-finite samples — replications that completed but produced NaN/inf
+      metrics, which the summaries silently exclude from means and CIs.
+
+    When the table has one row per campaign point ``n_failed`` /
+    ``n_nonfinite`` columns are added; either way a DEGRADED note naming the
+    affected points is appended.
     """
     failed = campaign_result.failed_replications
-    if not failed:
+    non_finite_points = [
+        (point, point.non_finite_replications()) for point in campaign_result.points
+    ]
+    non_finite_points = [(p, reps) for p, reps in non_finite_points if reps]
+    if not failed and not non_finite_points:
         return result
-    if len(result.records) == len(campaign_result.points):
-        for record, point in zip(result.records, campaign_result.points):
-            record["n_failed"] = len(point.failures)
-    cells = ", ".join(
-        f"point {p.index} ({len(p.failures)} failed)"
-        for p in campaign_result.degraded_points()
-    )
-    note = (
-        f"DEGRADED: {failed} replication(s) exhausted their retry budget and "
-        f"were quarantined; affected cells average over fewer samples: {cells}."
-    )
-    result.notes = f"{result.notes}\n{note}" if result.notes else note
+    one_row_per_point = len(result.records) == len(campaign_result.points)
+    if failed:
+        if one_row_per_point:
+            for record, point in zip(result.records, campaign_result.points):
+                record["n_failed"] = len(point.failures)
+        cells = ", ".join(
+            f"point {p.index} ({len(p.failures)} failed)"
+            for p in campaign_result.degraded_points()
+        )
+        note = (
+            f"DEGRADED: {failed} replication(s) exhausted their retry budget "
+            f"and were quarantined; affected cells average over fewer "
+            f"samples: {cells}."
+        )
+        result.notes = f"{result.notes}\n{note}" if result.notes else note
+    if non_finite_points:
+        if one_row_per_point:
+            for record, point in zip(result.records, campaign_result.points):
+                record["n_nonfinite"] = len(point.non_finite_replications())
+        cells = ", ".join(
+            f"point {p.index} ({len(reps)} non-finite)"
+            for p, reps in non_finite_points
+        )
+        total = sum(len(reps) for _, reps in non_finite_points)
+        note = (
+            f"DEGRADED: {total} replication(s) produced non-finite metrics "
+            f"(excluded from means and CIs): {cells}."
+        )
+        result.notes = f"{result.notes}\n{note}" if result.notes else note
     return result
 
 

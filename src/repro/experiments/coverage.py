@@ -196,6 +196,9 @@ def run_coverage(
     checkpoint_path: Optional[str] = None,
     executor=None,
     trace_dir: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    ci_metric: Optional[str] = None,
+    max_replications: Optional[int] = None,
 ) -> ExperimentResult:
     """Coverage vs. data load (and optionally cell radius) per scheduler.
 
@@ -230,6 +233,10 @@ def run_coverage(
         Optional directory receiving structured campaign telemetry
         (``campaign.jsonl`` + one JSONL trace per replication); aggregates
         stay bit-identical to an untraced run.
+    ci_target / ci_metric / max_replications:
+        Optional sequential stopping: issue replications in waves of
+        ``num_replications`` until the 95% CI half-width of ``ci_metric``
+        (default ``coverage``) is at most ``ci_target`` at every grid point.
     """
     campaign = build_coverage_campaign(
         loads=loads,
@@ -243,6 +250,11 @@ def run_coverage(
         scheduler_factories=scheduler_factories,
         seed=seed,
         num_replications=num_replications,
+    )
+    campaign.configure_sequential(
+        ci_target,
+        ci_metric if ci_metric is not None else "coverage",
+        max_replications=max_replications,
     )
     outcome = campaign.run(
         workers=workers,

@@ -169,6 +169,9 @@ def run_delay_vs_load(
     checkpoint_path: Optional[str] = None,
     executor=None,
     trace_dir: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    ci_metric: Optional[str] = None,
+    max_replications: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep the data-user population and record per-link packet delays.
 
@@ -195,12 +198,22 @@ def run_delay_vs_load(
         Optional directory receiving structured campaign telemetry
         (``campaign.jsonl`` + one JSONL trace per replication, including
         the dynamic runs' frame/stage/admission events).
+    ci_target / ci_metric / max_replications:
+        Optional sequential stopping: issue replications in waves of
+        ``num_seeds`` until the 95% CI half-width of ``ci_metric`` (default
+        ``mean_delay_s``) is at most ``ci_target`` at every grid point (see
+        :meth:`~repro.experiments.campaign.Campaign.configure_sequential`).
     """
     campaign = build_delay_campaign(
         loads=loads,
         scenario=scenario,
         scheduler_factories=scheduler_factories,
         num_seeds=num_seeds,
+    )
+    campaign.configure_sequential(
+        ci_target,
+        ci_metric if ci_metric is not None else "mean_delay_s",
+        max_replications=max_replications,
     )
     outcome = campaign.run(
         workers=workers,

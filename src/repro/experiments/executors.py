@@ -156,6 +156,13 @@ class Executor:
     observer (assigned by the campaign engine) notified of task issue,
     completion, retry and quarantine; ``None`` keeps every dispatch point a
     single ``is not None`` branch.
+
+    :attr:`keep_alive` (default ``False``) keeps worker processes running
+    when ``run`` finishes, so a caller issuing tasks in waves — the
+    campaign engine's sequential-stopping mode — pays the fleet spawn cost
+    once instead of once per wave.  ``stop()`` always tears the fleet down
+    regardless, so the engine's ``finally: backend.stop()`` remains the
+    single cleanup point.
     """
 
     name = "base"
@@ -163,6 +170,7 @@ class Executor:
     def __init__(self) -> None:
         self.stats = ExecutorStats()
         self.hooks: Optional[SimHooks] = None
+        self.keep_alive = False
 
     def run(self, execute: ExecuteFn, tasks: Sequence[TaskSpec]) -> Iterator[TaskOutcome]:
         raise NotImplementedError
@@ -223,14 +231,18 @@ class PoolExecutor(Executor):
         self.workers = int(workers)
         self._pool = None
 
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing as mp
+
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            self._pool = mp.get_context(method).Pool(processes=self.workers)
+        return self._pool
+
     def run(self, execute: ExecuteFn, tasks: Sequence[TaskSpec]) -> Iterator[TaskOutcome]:
         tasks = list(tasks)
         if not tasks:
             return
-        import multiprocessing as mp
-
-        method = "fork" if "fork" in mp.get_all_start_methods() else None
-        ctx = mp.get_context(method)
         payloads = [(execute, index, task.payload) for index, task in enumerate(tasks)]
         hooks = self.hooks
         if hooks is not None:
@@ -238,25 +250,25 @@ class PoolExecutor(Executor):
             # at submission granularity.
             for task in tasks:
                 hooks.task_issued(task.key, attempt=1)
-        with ctx.Pool(processes=self.workers) as pool:
-            self._pool = pool
-            try:
-                for index, metrics in pool.imap_unordered(
-                    _pool_entry, payloads, chunksize=1
-                ):
-                    if hooks is not None:
-                        hooks.task_completed(
-                            tasks[index].key, attempts=1, duration_s=0.0
-                        )
-                    yield TaskOutcome(task=tasks[index], metrics=metrics)
-            finally:
-                self._pool = None
+        pool = self._ensure_pool()
+        try:
+            for index, metrics in pool.imap_unordered(
+                _pool_entry, payloads, chunksize=1
+            ):
+                if hooks is not None:
+                    hooks.task_completed(
+                        tasks[index].key, attempts=1, duration_s=0.0
+                    )
+                yield TaskOutcome(task=tasks[index], metrics=metrics)
+        finally:
+            if not self.keep_alive:
+                self.stop()
 
     def stop(self) -> None:
-        pool = self._pool
+        pool, self._pool = self._pool, None
         if pool is not None:
             pool.terminate()
-            self._pool = None
+            pool.join()
 
 
 # ---------------------------------------------------------------------------
@@ -380,6 +392,11 @@ class ResilientExecutor(Executor):
         self._live: List[_WorkerHandle] = []
         self._stop_requested = False
         self._spawned_initial = False
+        # Tickets must stay unique for the executor's lifetime, not per run:
+        # with ``keep_alive`` a speculative duplicate from one wave can
+        # report mid-way through the next, and a reused ticket number would
+        # attribute that stale result to the wrong task.
+        self._next_ticket = 0
 
     # -- scheduling helpers ------------------------------------------------------
     def retry_delay(self, task_index: int, retry: int) -> float:
@@ -456,10 +473,9 @@ class ResilientExecutor(Executor):
         speculated = [False] * total
         durations: List[float] = []
         attempts: Dict[int, _Attempt] = {}  # ticket -> in-flight bookkeeping
-        next_ticket = 0
         emitted = 0
         self._stop_requested = False
-        self._spawned_initial = False
+        self._spawned_initial = bool(self._live)
 
         def register_failure(index: int, reason: str) -> Optional[TaskOutcome]:
             """Schedule a retry, or quarantine once the budget is exhausted."""
@@ -498,19 +514,23 @@ class ResilientExecutor(Executor):
             self._live.remove(worker)
             outcome = None
             if worker.ticket is not None:
-                attempt = attempts.pop(worker.ticket)
-                running_copies[attempt.task_index] -= 1
-                if finished[attempt.task_index]:
+                # A ticket from a previous wave (keep_alive) is not in this
+                # wave's books; the task it carried was already resolved.
+                attempt = attempts.pop(worker.ticket, None)
+                if attempt is None:
+                    self.stats.duplicates_discarded += 1
+                elif finished[attempt.task_index]:
+                    running_copies[attempt.task_index] -= 1
                     self.stats.duplicates_discarded += 1
                 else:
+                    running_copies[attempt.task_index] -= 1
                     outcome = register_failure(attempt.task_index, reason)
             self._kill(worker)
             return outcome
 
         def dispatch(worker: _WorkerHandle, index: int) -> None:
-            nonlocal next_ticket
-            ticket = next_ticket
-            next_ticket += 1
+            ticket = self._next_ticket
+            self._next_ticket += 1
             attempts[ticket] = _Attempt(task_index=index, started_at=time.monotonic())
             running_copies[index] += 1
             worker.ticket = ticket
@@ -538,7 +558,7 @@ class ResilientExecutor(Executor):
                 # 2. Attempts over the timeout budget: kill + re-issue.
                 if self.task_timeout_s is not None:
                     for worker in list(self._live):
-                        if worker.ticket is None:
+                        if worker.ticket is None or worker.ticket not in attempts:
                             continue
                         elapsed = now - attempts[worker.ticket].started_at
                         if elapsed <= self.task_timeout_s:
@@ -623,7 +643,12 @@ class ResilientExecutor(Executor):
                             # iteration (liveness, not EOF, is authoritative).
                             continue
                         worker.ticket = None
-                        attempt = attempts.pop(ticket)
+                        attempt = attempts.pop(ticket, None)
+                        if attempt is None:
+                            # Stale result from a previous wave's speculative
+                            # duplicate (keep_alive): the task was resolved.
+                            self.stats.duplicates_discarded += 1
+                            continue
                         index = attempt.task_index
                         running_copies[index] -= 1
                         if finished[index]:
@@ -670,4 +695,5 @@ class ResilientExecutor(Executor):
                     emitted += 1
                     yield outcome
         finally:
-            self._shutdown()
+            if not self.keep_alive:
+                self._shutdown()

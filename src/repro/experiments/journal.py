@@ -43,7 +43,7 @@ import json
 import os
 import warnings
 import zlib
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["CheckpointJournal"]
 
@@ -140,6 +140,7 @@ class CheckpointJournal:
         self.compact_every = compact_every
         self.fsync = bool(fsync)
         self._completed: Dict[str, MetricDict] = {}
+        self.notes: List[dict] = []
         self._wal_records = 0  # records in the WAL since the last compaction
         self._handle = None
         self._loaded = False
@@ -171,6 +172,9 @@ class CheckpointJournal:
                 f"checkpoint {self.path!r} was written by a different campaign "
                 f"(name/grid/replications/root seed changed); refusing to resume"
             )
+        notes = payload.get("notes", [])
+        if isinstance(notes, list):
+            self.notes = [dict(note) for note in notes if isinstance(note, dict)]
         return {str(k): dict(v) for k, v in payload.get("completed", {}).items()}
 
     def _replay_wal(self) -> Tuple[Dict[str, MetricDict], int]:
@@ -199,6 +203,8 @@ class CheckpointJournal:
                     )
             elif "key" in payload:
                 records[str(payload["key"])] = dict(payload.get("metrics", {}))
+            elif "note" in payload and isinstance(payload["note"], dict):
+                self.notes.append(dict(payload["note"]))
             offset += len(line)
         return records, offset
 
@@ -255,6 +261,22 @@ class CheckpointJournal:
         if self.compact_every is not None and self._wal_records >= self.compact_every:
             self.compact()
 
+    def append_note(self, note: dict) -> None:
+        """Durably record one free-form annotation (wave schedules, ...).
+
+        Notes ride the same fsync'd WAL (and survive compaction into the
+        JSON under ``"notes"``) but are pure observability: the resume
+        loader only trusts ``fingerprint`` and ``completed``, so a foreign
+        or missing notes list never changes what gets recomputed.
+        """
+        if not self._loaded:
+            raise RuntimeError("call load() before append_note()")
+        self.notes.append(dict(note))
+        self._write_line(json.dumps({"note": dict(note)}, separators=(",", ":")))
+        self._wal_records += 1
+        if self.compact_every is not None and self._wal_records >= self.compact_every:
+            self.compact()
+
     # -- compaction --------------------------------------------------------------
     def compact(self) -> None:
         """Fold the WAL into the JSON checkpoint; both steps are atomic.
@@ -271,6 +293,8 @@ class CheckpointJournal:
             "fingerprint": self.fingerprint,
             "completed": self._completed,
         }
+        if self.notes:
+            payload["notes"] = self.notes
         _atomic_write(self.path, json.dumps(payload))
         if self._handle is not None:
             self._handle.close()

@@ -117,6 +117,9 @@ def run_objectives_tradeoff(
     checkpoint_path: Optional[str] = None,
     executor=None,
     trace_dir: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    ci_metric: Optional[str] = None,
+    max_replications: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep the delay-penalty weight of objective J2 at a fixed (loaded) point.
 
@@ -128,7 +131,8 @@ def run_objectives_tradeoff(
         ``mu`` (``delay_forgetting_factor``) used for all non-zero points.
     load:
         Data users per cell (choose a point beyond the knee of F2).
-    num_seeds / workers / checkpoint_path / executor / trace_dir:
+    num_seeds / workers / checkpoint_path / executor / trace_dir /
+    ci_target / ci_metric / max_replications:
         Campaign controls, as in
         :func:`repro.experiments.delay_vs_load.run_delay_vs_load`.
     """
@@ -138,6 +142,11 @@ def run_objectives_tradeoff(
         load=load,
         scenario=scenario,
         num_seeds=num_seeds,
+    )
+    campaign.configure_sequential(
+        ci_target,
+        ci_metric if ci_metric is not None else "mean_delay_s",
+        max_replications=max_replications,
     )
     outcome = campaign.run(
         workers=workers,

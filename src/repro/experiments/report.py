@@ -11,6 +11,13 @@ Every Monte-Carlo table now carries its statistical context: the replication
 count (``n_seeds`` / ``n_reps``) and the 95% confidence-interval half-width
 (``delay_ci_s`` / ``coverage_ci``) of the headline metric, instead of bare
 means.
+
+``--compare A B`` switches to the paired head-to-head mode: a two-scheduler
+delay campaign on shared replication streams, reduced to per-load paired
+deltas (``A - B``) with both the paired-t and the Welch half-width, so the
+variance reduction bought by common random numbers is visible in the table.
+Combine with ``--ci-target`` to replicate sequentially until the headline
+metric's half-width is resolved.
 """
 
 from __future__ import annotations
@@ -106,6 +113,31 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
                         help="restrict the scheduler-swept experiments to "
                              "these policies (registered names with optional "
                              "kwargs, or legacy labels); repeatable")
+    compare = parser.add_argument_group(
+        "paired comparison (--compare mode)",
+        "run only a two-scheduler delay campaign on shared replication "
+        "streams and report per-load paired deltas",
+    )
+    compare.add_argument("--compare", nargs=2, default=None,
+                         metavar=("A", "B"),
+                         help="scheduler labels to difference (A - B), e.g. "
+                              "--compare 'JABA-SD(J1)' FCFS")
+    compare.add_argument("--loads", type=int, nargs="+", default=None,
+                         help="data users per cell for the comparison grid "
+                              "(default 6 12 18 24)")
+    compare.add_argument("--seeds", type=int, default=4,
+                         help="seed replications per point (default 4); with "
+                              "--ci-target this is the first wave size")
+    compare.add_argument("--duration", type=float, default=None,
+                         help="override the scenario duration in seconds")
+    compare.add_argument("--warmup", type=float, default=None,
+                         help="override the scenario warm-up in seconds")
+    compare.add_argument("--ci-target", type=float, default=None,
+                         help="replicate sequentially until the paired "
+                              "metric's 95%% CI half-width is at most this "
+                              "at every point")
+    compare.add_argument("--max-replications", type=int, default=None,
+                         help="sequential-stopping replication cap per point")
     args = parser.parse_args(argv)
     factories = None
     if args.scheduler_specs:
@@ -118,6 +150,41 @@ def main(argv=None) -> int:  # pragma: no cover - CLI entry point
             except (RegistryError, ValueError) as exc:
                 parser.error(str(exc))
         factories = {label: label for label in args.scheduler_specs}
+    if args.compare is not None:
+        from repro.experiments.common import paper_scenario, scheduler_from_spec
+        from repro.experiments.compare import run_scheduler_comparison
+        from repro.registry import RegistryError
+
+        label_a, label_b = args.compare
+        for label in (label_a, label_b):
+            try:
+                scheduler_from_spec(label)
+            except (RegistryError, ValueError) as exc:
+                parser.error(str(exc))
+        scenario = None
+        if args.duration is not None or args.warmup is not None:
+            kwargs = {}
+            if args.duration is not None:
+                kwargs["duration_s"] = args.duration
+            if args.warmup is not None:
+                kwargs["warmup_s"] = args.warmup
+            scenario = paper_scenario(**kwargs)
+        started = time.time()
+        result = run_scheduler_comparison(
+            label_a,
+            label_b,
+            loads=args.loads,
+            scenario=scenario,
+            num_seeds=args.seeds,
+            workers=args.workers,
+            executor=args.executor,
+            ci_target=args.ci_target,
+            max_replications=args.max_replications,
+        )
+        print(result.to_table())
+        print()
+        print(f"(comparison generated in {time.time() - started:.1f} s)")
+        return 0
     started = time.time()
     results = (
         quick_report(args.workers, executor=args.executor,

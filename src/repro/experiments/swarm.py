@@ -371,6 +371,11 @@ class SwarmExecutor(Executor):
         self._spawned_initial = False
         self._stop_requested = False
         self._torn_down = True
+        # Attempt ids must stay unique for the executor's lifetime, not per
+        # run: workers dedupe re-delivered leases by attempt id for *their*
+        # lifetime, so with ``keep_alive`` a reused id from a later wave
+        # would be silently dropped as a duplicate.
+        self._attempt_counter = 0
 
     # -- lifecycle helpers -------------------------------------------------------
     def _spawn(self, ctx) -> _SwarmWorker:
@@ -446,35 +451,47 @@ class SwarmExecutor(Executor):
         ctx = mp.get_context(method)
 
         self._stop_requested = False
-        self._spawned_initial = False
-        self._workers = {}
-        self._owns_dir = self.swarm_dir is None
-        root = (
-            tempfile.mkdtemp(prefix="repro-swarm-")
-            if self._owns_dir
-            else self.swarm_dir
-        )
-        os.makedirs(root, exist_ok=True)
-        self._layout = layout = SwarmLayout(root)
-        layout.ensure()
-        if os.path.exists(layout.stop_path):  # stale stop from a prior run
-            os.remove(layout.stop_path)
-        # Two-stage pickle: the outer layer is plain data an external worker
-        # can always load; it carries the coordinator's sys.path, which the
-        # worker applies *before* unpickling the inner blob (the execute
-        # function and fault plan, which pickle by reference).
-        inner = pickle.dumps(
-            {"execute": execute, "message_faults": self.message_faults}
-        )
-        job = {
-            "payload": inner,
-            "lease_timeout_s": self.lease_timeout_s,
-            "heartbeat_interval_s": self.heartbeat_interval_s,
-            "coordinator": {"pid": os.getpid(), "host": socket.gethostname()},
-            "sys_path": list(sys.path),
-        }
-        _atomic_publish(layout.job_path, pickle.dumps(job))
-        self._torn_down = False
+        if self._torn_down:
+            self._spawned_initial = False
+            self._workers = {}
+            self._owns_dir = self.swarm_dir is None
+            root = (
+                tempfile.mkdtemp(prefix="repro-swarm-")
+                if self._owns_dir
+                else self.swarm_dir
+            )
+            os.makedirs(root, exist_ok=True)
+            self._layout = layout = SwarmLayout(root)
+            layout.ensure()
+            if os.path.exists(layout.stop_path):  # stale stop from a prior run
+                os.remove(layout.stop_path)
+            # Two-stage pickle: the outer layer is plain data an external
+            # worker can always load; it carries the coordinator's sys.path,
+            # which the worker applies *before* unpickling the inner blob
+            # (the execute function and fault plan, which pickle by
+            # reference).
+            inner = pickle.dumps(
+                {"execute": execute, "message_faults": self.message_faults}
+            )
+            job = {
+                "payload": inner,
+                "lease_timeout_s": self.lease_timeout_s,
+                "heartbeat_interval_s": self.heartbeat_interval_s,
+                "coordinator": {"pid": os.getpid(), "host": socket.gethostname()},
+                "sys_path": list(sys.path),
+            }
+            _atomic_publish(layout.job_path, pickle.dumps(job))
+            self._torn_down = False
+        else:
+            # keep_alive wave boundary: the fleet, the shared directory and
+            # the published job survive from the previous run.  Any attempt
+            # ids still on the records belong to leases of the finished
+            # wave — late results for them drain as unknown keys below; the
+            # records must start this wave dispatchable.
+            layout = self._layout
+            self._spawned_initial = bool(self._workers)
+            for record in self._workers.values():
+                record.attempts.clear()
 
         total = len(tasks)
         now = time.monotonic()
@@ -486,7 +503,7 @@ class SwarmExecutor(Executor):
         stolen = [False] * total
         durations: List[float] = []
         leases: Dict[str, _SwarmLease] = {}
-        attempt_counter = 0
+        index_by_key = {task.key: index for index, task in enumerate(tasks)}
         emitted = 0
         fresh: List[TaskOutcome] = []
 
@@ -565,9 +582,8 @@ class SwarmExecutor(Executor):
                     pending.append((reclaim_at, index))
 
         def issue_lease(record: _SwarmWorker, batch: List[int]) -> None:
-            nonlocal attempt_counter
-            attempt_id = f"a{attempt_counter}"
-            attempt_counter += 1
+            attempt_id = f"a{self._attempt_counter}"
+            self._attempt_counter += 1
             issued_at = time.monotonic()
             leases[attempt_id] = _SwarmLease(
                 attempt_id=attempt_id,
@@ -696,9 +712,15 @@ class SwarmExecutor(Executor):
                     if record is not None:
                         record.last_seen = now  # results are liveness evidence
                     attempt_id = message.get("attempt")
-                    index = message.get("task_index")
-                    if not isinstance(index, int) or not 0 <= index < total:
-                        continue  # pragma: no cover - defensive
+                    # Results are attributed by task *key*, not by the lease's
+                    # positional index: with ``keep_alive`` a late duplicate
+                    # from a previous wave carries an index into that wave's
+                    # task list, which would silently land on the wrong task
+                    # here.  An unknown key is exactly such a stale duplicate.
+                    index = index_by_key.get(message.get("key"))
+                    if index is None:
+                        self.stats.duplicates_discarded += 1
+                        continue
                     lease = leases.get(attempt_id)
                     if lease is not None and index in lease.unresolved:
                         lease.unresolved.discard(index)
@@ -840,4 +862,5 @@ class SwarmExecutor(Executor):
                         wait = min(wait, max(0.0, min(ripen) - time.monotonic()))
                     time.sleep(max(0.001, wait))
         finally:
-            self._teardown()
+            if not self.keep_alive:
+                self._teardown()

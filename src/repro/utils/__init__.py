@@ -7,12 +7,14 @@ from repro.utils.units import (
     watt_to_dbm,
     ratio_db,
 )
-from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.rng import AntitheticRng, RngFactory, spawn_rng
 from repro.utils.stats import (
     RunningStats,
     TimeWeightedStats,
     Histogram,
     confidence_interval,
+    paired_confidence_interval,
+    unpaired_confidence_interval,
 )
 from repro.utils.tables import format_table
 from repro.utils.hooks import (
@@ -43,12 +45,15 @@ __all__ = [
     "dbm_to_watt",
     "watt_to_dbm",
     "ratio_db",
+    "AntitheticRng",
     "RngFactory",
     "spawn_rng",
     "RunningStats",
     "TimeWeightedStats",
     "Histogram",
     "confidence_interval",
+    "paired_confidence_interval",
+    "unpaired_confidence_interval",
     "format_table",
     "SimHooks",
     "CompositeHooks",

@@ -256,8 +256,11 @@ class Histogram:
         """Approximate ``q``-th percentile (0 <= q <= 100).
 
         The estimate is the upper edge of the bin in which the requested
-        rank falls, hence it is conservative (never under-estimates).
-        Returns ``nan`` when empty.
+        rank falls, hence it is conservative (never under-estimates).  The
+        exception is the lowest rank: ``q = 0`` (and any ``q`` small enough
+        that its rank clamps to the first sample) refers to the observed
+        minimum, which is tracked exactly — returning the first bin's upper
+        edge there would *over*-estimate.  Returns ``nan`` when empty.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be in [0, 100]")
@@ -266,6 +269,8 @@ class Histogram:
             return math.nan
         target = math.ceil(q / 100.0 * total)
         target = max(target, 1)
+        if target <= 1:
+            return self._stats.min
         cumulative = np.cumsum(self._counts)
         idx = int(np.searchsorted(cumulative, target))
         if idx >= self._bins:
@@ -284,8 +289,10 @@ def confidence_interval(
     """Return ``(mean, half_width)`` of a normal-approximation CI.
 
     Uses the Student-t quantile from :mod:`scipy.stats` when more than one
-    sample is available; degenerates to ``(mean, 0)`` for a single sample and
-    ``(nan, nan)`` for none.
+    sample is available.  A single sample carries no dispersion information,
+    so the half-width is ``nan`` (an honest "unknown", rendered as ``—`` in
+    report tables) rather than a spuriously certain ``0.0``; no samples give
+    ``(nan, nan)``.
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be in (0, 1)")
@@ -294,12 +301,67 @@ def confidence_interval(
         return math.nan, math.nan
     mean = float(arr.mean())
     if arr.size == 1:
-        return mean, 0.0
+        return mean, math.nan
     from scipy import stats as scipy_stats
 
     sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
     tval = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
     return mean, tval * sem
+
+
+def paired_confidence_interval(
+    a: Sequence[float], b: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Return ``(mean_delta, half_width)`` of the paired-t CI for ``a - b``.
+
+    The samples must be *paired*: ``a[i]`` and ``b[i]`` observed under the
+    same random-number stream (common random numbers).  The CI is then the
+    one-sample Student-t interval on the differences ``d_i = a_i - b_i``
+    with ``n - 1`` degrees of freedom — under positive correlation (the CRN
+    case) this is strictly tighter than the unpaired interval from
+    :func:`unpaired_confidence_interval` on the same data.
+    """
+    arr_a = np.asarray(list(a), dtype=float)
+    arr_b = np.asarray(list(b), dtype=float)
+    if arr_a.size != arr_b.size:
+        raise ValueError(
+            f"paired samples must have equal length (got {arr_a.size} and {arr_b.size})"
+        )
+    return confidence_interval(arr_a - arr_b, confidence)
+
+
+def unpaired_confidence_interval(
+    a: Sequence[float], b: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Return ``(mean_delta, half_width)`` of the Welch CI for ``a - b``.
+
+    Treats the two samples as independent (no common random numbers):
+    standard error ``sqrt(s_a^2/n_a + s_b^2/n_b)`` with Welch–Satterthwaite
+    degrees of freedom.  Either side with fewer than two samples yields a
+    ``nan`` half-width.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    arr_a = np.asarray(list(a), dtype=float)
+    arr_b = np.asarray(list(b), dtype=float)
+    if arr_a.size == 0 or arr_b.size == 0:
+        return math.nan, math.nan
+    mean = float(arr_a.mean()) - float(arr_b.mean())
+    if arr_a.size < 2 or arr_b.size < 2:
+        return mean, math.nan
+    var_a = float(arr_a.var(ddof=1))
+    var_b = float(arr_b.var(ddof=1))
+    se_sq = var_a / arr_a.size + var_b / arr_b.size
+    if se_sq == 0.0:
+        return mean, 0.0
+    df = se_sq**2 / (
+        (var_a / arr_a.size) ** 2 / (arr_a.size - 1)
+        + (var_b / arr_b.size) ** 2 / (arr_b.size - 1)
+    )
+    from scipy import stats as scipy_stats
+
+    tval = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=df))
+    return mean, tval * math.sqrt(se_sq)
 
 
 @dataclass

@@ -152,12 +152,13 @@ class TestMetricSummary:
         assert empty.count == 0 and math.isnan(empty.mean)
         single = MetricSummary.from_samples([5.0])
         assert single.count == 1
-        assert single.ci_half_width == 0.0
+        assert math.isnan(single.ci_half_width)
 
     def test_nan_samples_excluded(self):
         summary = MetricSummary.from_samples([1.0, math.nan, 3.0])
         assert summary.count == 2
         assert summary.mean == pytest.approx(2.0)
+        assert summary.non_finite == 1
 
 
 class TestCampaignDeterminism:

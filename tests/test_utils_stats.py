@@ -155,8 +155,10 @@ class TestConfidenceInterval:
         assert math.isnan(mean) and math.isnan(half)
 
     def test_single_sample(self):
+        # One sample carries no dispersion information: an honest "unknown"
+        # half-width, not a spuriously certain 0.0.
         mean, half = confidence_interval([3.0])
-        assert mean == 3.0 and half == 0.0
+        assert mean == 3.0 and math.isnan(half)
 
     def test_interval_contains_mean_of_tight_samples(self):
         mean, half = confidence_interval([1.0, 1.1, 0.9, 1.05, 0.95])
